@@ -1,0 +1,90 @@
+"""Figure 11: application performance under memory limits.
+
+The full grid — PowerGraph and NumPy completion times (11a, 11b),
+VoltDB and Memcached throughput (11c, 11d) — across Disk, D-VMM
+(Infiniswap on the default path), and D-VMM + Leap at 100% / 50% / 25%
+memory.  Shape assertions per the paper:
+
+* at 100% everything matches local-memory behaviour;
+* under pressure: Leap ≻ D-VMM ≻ Disk on every application;
+* degradation grows from 50% to 25% for disk and D-VMM;
+* Leap stays closest to the 100% baseline throughout (the paper's
+  1.27–10.16× improvements over Infiniswap's default path).
+"""
+
+from repro.bench import fig11_lookup
+from repro.metrics.report import format_table
+
+APPS = ("powergraph", "numpy", "voltdb", "memcached")
+SYSTEMS = ("disk", "d-vmm", "d-vmm+leap")
+
+
+def test_fig11_applications(benchmark, fig11_cells):
+    cells = benchmark.pedantic(lambda: fig11_cells, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["app", "system", "memory", "completion (s)", "throughput (kops)", "faults"],
+            [
+                (
+                    c.application,
+                    c.system,
+                    f"{int(c.memory_fraction * 100)}%",
+                    f"{c.completion_seconds:.2f}",
+                    "-" if c.throughput_kops is None else f"{c.throughput_kops:.1f}",
+                    c.faults,
+                )
+                for c in cells
+            ],
+            title="Figure 11 — application performance grid",
+        )
+    )
+
+    for app in APPS:
+        # 100%: no paging, all three systems behave like local memory.
+        base = {
+            system: fig11_lookup(cells, app, system, 1.0) for system in SYSTEMS
+        }
+        times = [cell.completion_seconds for cell in base.values()]
+        assert max(times) <= min(times) * 1.02, f"{app}: 100% rows must agree"
+        assert all(cell.faults == 0 for cell in base.values())
+
+        for fraction in (0.5, 0.25):
+            disk = fig11_lookup(cells, app, "disk", fraction)
+            dvmm = fig11_lookup(cells, app, "d-vmm", fraction)
+            leap = fig11_lookup(cells, app, "d-vmm+leap", fraction)
+            # Ordering: Leap ≻ D-VMM ≻ Disk.
+            assert leap.completion_seconds < dvmm.completion_seconds, (app, fraction)
+            assert dvmm.completion_seconds < disk.completion_seconds, (app, fraction)
+
+        # Memory pressure hurts monotonically on disk and D-VMM.
+        for system in ("disk", "d-vmm"):
+            t100 = fig11_lookup(cells, app, system, 1.0).completion_seconds
+            t50 = fig11_lookup(cells, app, system, 0.5).completion_seconds
+            t25 = fig11_lookup(cells, app, system, 0.25).completion_seconds
+            assert t100 < t50 <= t25 * 1.02, (app, system)
+
+        # Leap holds applications near their local-memory baseline at
+        # 50% (the paper's strongest qualitative claim).
+        t100 = fig11_lookup(cells, app, "d-vmm+leap", 1.0).completion_seconds
+        t50 = fig11_lookup(cells, app, "d-vmm+leap", 0.5).completion_seconds
+        assert t50 <= t100 * 1.6, f"{app}: Leap @50% strayed {t50 / t100:.2f}x"
+
+
+def test_fig11_throughput_apps(benchmark, fig11_cells):
+    cells = benchmark.pedantic(lambda: fig11_cells, rounds=1, iterations=1)
+
+    for app in ("voltdb", "memcached"):
+        local = fig11_lookup(cells, app, "d-vmm+leap", 1.0).throughput_kops
+        for fraction in (0.5, 0.25):
+            dvmm = fig11_lookup(cells, app, "d-vmm", fraction).throughput_kops
+            leap = fig11_lookup(cells, app, "d-vmm+leap", fraction).throughput_kops
+            disk = fig11_lookup(cells, app, "disk", fraction).throughput_kops
+            assert leap > dvmm > disk, (app, fraction)
+            assert leap <= local * 1.001
+        # Paper: Leap improves Infiniswap's VoltDB throughput 2.76x at
+        # 50%; demand at least 1.5x for both throughput apps.
+        dvmm50 = fig11_lookup(cells, app, "d-vmm", 0.5).throughput_kops
+        leap50 = fig11_lookup(cells, app, "d-vmm+leap", 0.5).throughput_kops
+        assert leap50 / dvmm50 >= 1.2, f"{app}: only {leap50 / dvmm50:.2f}x"

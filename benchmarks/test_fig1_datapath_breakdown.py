@@ -1,0 +1,43 @@
+"""Figure 1: the stage-by-stage latency budget of the data path.
+
+Regenerates the per-stage annotations of the paper's Figure 1 —
+cache lookup 0.27 µs, request prep ~10 µs, block queueing ~22 µs,
+dispatch 2.1 µs — and checks that the legacy software overhead lands
+near the measured ~34 µs while Leap's stays sub-microsecond.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig1_datapath_breakdown
+from repro.metrics.report import format_table
+
+
+def test_fig1_datapath_breakdown(benchmark):
+    rows = run_once(benchmark, fig1_datapath_breakdown)
+    by_stage = {row.stage: row.mean_us for row in rows}
+
+    print()
+    print(
+        format_table(
+            ["stage", "mean (us)"],
+            [(row.stage, f"{row.mean_us:.2f}") for row in rows],
+            title="Figure 1 — data path stage budget",
+        )
+    )
+
+    assert by_stage["cache lookup"] == 0.27
+    prep = by_stage["legacy: request prep (bio + device mapping)"]
+    queueing = by_stage["legacy: block queueing (insert/merge/sort/stage)"]
+    dispatch = by_stage["driver dispatch"]
+    # Paper: prep ≈ 10.04 µs, queueing ≈ 21.88 µs (heavy-tailed, so the
+    # mean runs above the median), dispatch ≈ 2.1 µs; total software
+    # overhead ≈ 34 µs.
+    assert 8.0 <= prep <= 14.0
+    assert 18.0 <= queueing <= 32.0
+    assert 1.8 <= dispatch <= 2.5
+    assert 28.0 <= prep + queueing + dispatch <= 48.0
+    # Leap's replacement overhead is sub-microsecond (§3.3).
+    assert by_stage["leap: software overhead"] < 1.0
+    # Media ordering: RDMA < SSD < HDD (the premise of the paper).
+    assert by_stage["medium: rdma 4KB"] < by_stage["medium: ssd 4KB"]
+    assert by_stage["medium: ssd 4KB"] < by_stage["medium: hdd 4KB"]

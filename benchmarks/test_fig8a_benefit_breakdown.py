@@ -1,0 +1,46 @@
+"""Figure 8a: Leap's benefit, component by component.
+
+PowerGraph at the 50% limit on the remote backend, adding one Leap
+component at a time: the lean data path alone, plus the prefetcher,
+plus eager eviction.  Paper claims reproduced: the data path alone
+keeps misses single-digit µs through the 95th percentile; the
+prefetcher pulls the median to sub-µs; eager eviction trims the tail
+further.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig8a_benefit_breakdown
+from repro.metrics.report import format_table
+
+
+def test_fig8a_benefit_breakdown(benchmark, scale):
+    rows = run_once(benchmark, fig8a_benefit_breakdown, scale)
+    by_variant = {row.variant: row for row in rows}
+
+    print()
+    print(
+        format_table(
+            ["variant", "p50 (us)", "p95 (us)", "p99 (us)"],
+            [
+                (r.variant, f"{r.p50_us:.2f}", f"{r.p95_us:.2f}", f"{r.p99_us:.2f}")
+                for r in rows
+            ],
+            title="Figure 8a — benefit breakdown (PowerGraph, 50% memory)",
+        )
+    )
+
+    path_only = by_variant["data path only"]
+    with_prefetcher = by_variant["+ prefetcher"]
+    full = by_variant["+ eager eviction"]
+
+    # Lean path alone: single-digit µs through p95 (every access is a
+    # miss, but it skips the block layer).
+    assert path_only.p95_us < 10.0
+    assert path_only.p50_us < 10.0
+    # Prefetcher turns the median into a sub-µs cache hit.
+    assert with_prefetcher.p50_us < 1.0
+    assert with_prefetcher.p50_us < path_only.p50_us
+    # Eager eviction keeps the median sub-µs and does not hurt the tail.
+    assert full.p50_us < 1.0
+    assert full.p99_us <= with_prefetcher.p99_us * 1.15

@@ -1,0 +1,55 @@
+"""Table 1: qualitative comparison of prefetching techniques.
+
+The matrix itself is data (repro.bench.prefetch.PREFETCHER_PROPERTIES);
+this bench renders it and asserts the paper's headline: Leap is the
+only technique satisfying every objective, and each implemented
+baseline's row matches its measurable behaviour elsewhere in the suite.
+"""
+
+from conftest import run_once
+
+from repro.bench import tab1_prefetcher_matrix
+from repro.metrics.report import format_table
+
+COLUMNS = [
+    "low_computational_complexity",
+    "low_memory_overhead",
+    "unmodified_application",
+    "hw_sw_independent",
+    "temporal_locality",
+    "spatial_locality",
+    "high_prefetch_utilization",
+]
+
+
+def test_tab1_prefetcher_matrix(benchmark):
+    matrix = run_once(benchmark, tab1_prefetcher_matrix)
+
+    print()
+    print(
+        format_table(
+            ["technique"] + [c.replace("_", " ") for c in COLUMNS],
+            [
+                [name] + ["yes" if matrix[name][c] else "no" for c in COLUMNS]
+                for name in matrix
+            ],
+            title="Table 1 — prefetching technique comparison",
+        )
+    )
+
+    # Every technique covers every column (the table is complete).
+    for name, row in matrix.items():
+        assert set(row) == set(COLUMNS), name
+
+    # Leap is the only all-yes row.
+    assert all(matrix["leap"].values())
+    for name, row in matrix.items():
+        if name != "leap":
+            assert not all(row.values()), f"{name} should fail some objective"
+
+    # The paper's specific contrasts.
+    assert not matrix["next-n-line"]["temporal_locality"]
+    assert not matrix["stride"]["temporal_locality"]
+    assert not matrix["readahead"]["high_prefetch_utilization"]
+    assert not matrix["ghb-pc"]["low_computational_complexity"]
+    assert not matrix["instruction-prefetch"]["unmodified_application"]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Memory-limit sweep: how far can you shrink local memory?
+
+The economic promise of memory disaggregation is running applications
+with a fraction of their working set in local DRAM.  This example
+sweeps the cgroup limit for a latency-sensitive OLTP workload
+(VoltDB/TPC-C-style) and prints throughput as a fraction of the
+all-in-memory baseline for:
+
+* Infiniswap-style remote paging on the default data path, and
+* the same substrate with the full Leap stack.
+
+This regenerates the Figure 11c trend at a finer granularity than the
+paper's three points — the gap between the two curves is Leap's
+contribution, widest exactly where disaggregation is most attractive.
+
+Run:  python examples/memory_limit_sweep.py
+"""
+
+from repro import Machine, VoltDBWorkload, infiniswap_config, leap_config, simulate
+from repro.metrics.report import format_table
+
+FRACTIONS = (1.0, 0.75, 0.5, 0.35, 0.25)
+
+
+def throughput_at(config, fraction, seed=3):
+    machine = Machine(config)
+    workload = VoltDBWorkload(wss_pages=12_288, total_accesses=40_000, seed=seed)
+    result = simulate(machine, {1: workload}, memory_fraction=fraction)
+    return result.processes[1].throughput_per_second(workload.total_ops)
+
+
+def main():
+    baseline = throughput_at(leap_config(seed=3), 1.0)
+    rows = []
+    for fraction in FRACTIONS:
+        default_tps = throughput_at(infiniswap_config(seed=3), fraction)
+        leap_tps = throughput_at(leap_config(seed=3), fraction)
+        rows.append(
+            (
+                f"{int(fraction * 100)}%",
+                f"{default_tps / 1000:.1f}k ({default_tps / baseline:.0%})",
+                f"{leap_tps / 1000:.1f}k ({leap_tps / baseline:.0%})",
+                f"{leap_tps / default_tps:.2f}x",
+            )
+        )
+
+    print(
+        format_table(
+            ["local memory", "d-vmm TPS", "d-vmm+leap TPS", "leap gain"],
+            rows,
+            title="VoltDB (TPC-C) throughput vs local memory budget",
+        )
+    )
+    print()
+    print("Paper anchor points (Figure 11c): at 50% memory the default")
+    print("path keeps ~35% of local throughput while Leap keeps ~96%;")
+    print("at 25% the gap grows to 10.16x.")
+
+
+if __name__ == "__main__":
+    main()

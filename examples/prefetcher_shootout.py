@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Prefetcher shootout: four algorithms on one graph-analytics trace.
+
+Reproduces the §5.2.3 experiment interactively: PowerGraph-style
+faults (a mix of sequential edge scans, strided property gathers, and
+power-law irregular lookups from four bursty threads) paging to a
+local HDD through the default kernel data path, with only the
+prefetching algorithm swapped:
+
+* **next-n-line** — always fetch the next 8 pages (blind, floods the
+  cache);
+* **stride** — strict two-miss stride detection (resets on any noise);
+* **readahead** — Linux's aligned-block readahead (sequential-only);
+* **leap** — the paper's Boyer–Moore majority-trend prefetcher.
+
+Watch the accuracy / coverage / pollution trade-off: Leap is never
+the most aggressive, but it covers the most faults per wasted page.
+
+Run:  python examples/prefetcher_shootout.py
+"""
+
+from repro import Machine, PowerGraphWorkload, simulate
+from repro.metrics.report import format_table
+from repro.sim.machine import disk_config
+
+
+def main():
+    rows = []
+    for prefetcher in ("next-n-line", "stride", "readahead", "leap"):
+        machine = Machine(disk_config(medium="hdd", prefetcher=prefetcher, seed=11))
+        workload = PowerGraphWorkload(
+            wss_pages=12_288, total_accesses=40_000, seed=11
+        )
+        result = simulate(machine, {1: workload}, memory_fraction=0.5)
+        metrics = result.metrics
+        stats = result.cache_stats
+        rows.append(
+            (
+                prefetcher,
+                f"{result.completion_seconds(1):.2f}",
+                stats.prefetch_adds,
+                metrics.misses,
+                f"{metrics.accuracy:.1%}",
+                f"{metrics.coverage:.1%}",
+                stats.evicted_unused,
+            )
+        )
+
+    print(
+        format_table(
+            ["prefetcher", "completion (s)", "cache adds", "misses",
+             "accuracy", "coverage", "pollution"],
+            rows,
+            title="PowerGraph on HDD at 50% memory (default data path)",
+        )
+    )
+    print()
+    print("Paper's qualitative result (Figures 9-10): Leap covers the most")
+    print("faults with the least pollution; Next-N-Line floods the cache;")
+    print("strict Stride detection has great accuracy but poor coverage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work on environments whose setuptools predates PEP 660 wheel
+support (e.g. offline boxes without the ``wheel`` package, where
+``pip install -e .`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Trace analysis (Figure 3 window classification)."""
+
+from repro.analysis.pattern_windows import (
+    WindowFractions,
+    classify_majority,
+    classify_strict,
+    deltas_of,
+    window_fractions,
+)
+
+__all__ = [
+    "WindowFractions",
+    "classify_majority",
+    "classify_strict",
+    "deltas_of",
+    "window_fractions",
+]

@@ -1,0 +1,45 @@
+"""Benchmark experiments: one entry point per paper table/figure.
+
+See DESIGN.md §4 for the experiment index.  Each function returns
+structured rows; the pytest files under ``benchmarks/`` call them,
+assert the paper's qualitative shape, and print the regenerated
+table/series.
+"""
+
+from repro.bench.apps import (
+    fig4_lazy_eviction_wait,
+    fig11_applications,
+    fig11_lookup,
+    fig12_cache_limits,
+    fig13_concurrent_applications,
+)
+from repro.bench.micro import (
+    fig1_datapath_breakdown,
+    fig2_default_path_latency,
+    fig7_leap_latency,
+    fig8a_benefit_breakdown,
+)
+from repro.bench.prefetch import (
+    fig3_pattern_windows,
+    fig8b_slow_storage,
+    fig9_fig10_prefetcher_comparison,
+    tab1_prefetcher_matrix,
+)
+from repro.bench.runner import BenchScale
+
+__all__ = [
+    "BenchScale",
+    "fig1_datapath_breakdown",
+    "fig2_default_path_latency",
+    "fig3_pattern_windows",
+    "fig4_lazy_eviction_wait",
+    "fig7_leap_latency",
+    "fig8a_benefit_breakdown",
+    "fig8b_slow_storage",
+    "fig9_fig10_prefetcher_comparison",
+    "fig11_applications",
+    "fig11_lookup",
+    "fig12_cache_limits",
+    "fig13_concurrent_applications",
+    "tab1_prefetcher_matrix",
+]

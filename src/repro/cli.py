@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common interactive uses:
+
+* ``compare`` — run one workload on D-VMM and D-VMM+Leap, print the
+  latency and prefetch-quality comparison (the quickstart, as a CLI);
+* ``run`` — run one workload on one configuration and print its
+  metrics (pick the system, prefetcher, medium, and memory limit);
+* ``figures`` — list the benchmark targets that regenerate each of
+  the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.metrics.report import format_table
+from repro.sim.machine import Machine, disk_config, infiniswap_config, leap_config
+from repro.sim.simulate import simulate
+from repro.workloads.base import Workload
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.numpy_matmul import NumpyMatmulWorkload
+from repro.workloads.patterns import (
+    RandomWorkload,
+    SequentialWorkload,
+    StrideWorkload,
+    ZipfianWorkload,
+)
+from repro.workloads.powergraph import PowerGraphWorkload
+from repro.workloads.voltdb import VoltDBWorkload
+
+__all__ = ["main", "build_parser"]
+
+WORKLOADS = {
+    "sequential": SequentialWorkload,
+    "stride": StrideWorkload,
+    "random": RandomWorkload,
+    "zipfian": ZipfianWorkload,
+    "powergraph": PowerGraphWorkload,
+    "numpy": NumpyMatmulWorkload,
+    "voltdb": VoltDBWorkload,
+    "memcached": MemcachedWorkload,
+}
+
+SYSTEMS = {
+    "disk": lambda args: disk_config(medium="hdd", seed=args.seed),
+    "ssd": lambda args: disk_config(medium="ssd", seed=args.seed),
+    "d-vmm": lambda args: infiniswap_config(seed=args.seed),
+    "leap": lambda args: leap_config(seed=args.seed),
+}
+
+FIGURES = [
+    ("fig1", "benchmarks/test_fig1_datapath_breakdown.py", "data path stage budget"),
+    ("fig2", "benchmarks/test_fig2_default_path_latency.py", "default-path latency CDFs"),
+    ("fig3", "benchmarks/test_fig3_pattern_windows.py", "strict vs majority patterns"),
+    ("fig4", "benchmarks/test_fig4_lazy_eviction.py", "cache eviction wait"),
+    ("tab1", "benchmarks/test_tab1_prefetcher_matrix.py", "technique comparison"),
+    ("fig7", "benchmarks/test_fig7_leap_latency.py", "Leap latency (104x headline)"),
+    ("fig8a", "benchmarks/test_fig8a_benefit_breakdown.py", "component breakdown"),
+    ("fig8b", "benchmarks/test_fig8b_slow_storage.py", "prefetcher on HDD/SSD"),
+    ("fig9", "benchmarks/test_fig9_prefetcher_cache.py", "cache adds/misses/completion"),
+    ("fig10", "benchmarks/test_fig10_prefetch_quality.py", "accuracy/coverage/timeliness"),
+    ("fig11", "benchmarks/test_fig11_applications.py", "application grid"),
+    ("fig12", "benchmarks/test_fig12_cache_limit.py", "constrained prefetch cache"),
+    ("fig13", "benchmarks/test_fig13_concurrent_apps.py", "four concurrent applications"),
+    ("ablation", "benchmarks/test_ablation_leap_parameters.py", "Hsize/PWsize/Nsplit sweeps"),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Effectively Prefetching Remote Memory with Leap'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("workload", choices=sorted(WORKLOADS))
+        p.add_argument("--wss-pages", type=int, default=8_192)
+        p.add_argument("--accesses", type=int, default=30_000)
+        p.add_argument("--memory", type=float, default=0.5,
+                       help="local memory as a fraction of the working set")
+        p.add_argument("--stride", type=int, default=10,
+                       help="stride for the stride workload")
+        p.add_argument("--seed", type=int, default=42)
+
+    compare = sub.add_parser("compare", help="D-VMM default path vs Leap")
+    add_workload_args(compare)
+
+    run = sub.add_parser("run", help="run one workload on one system")
+    add_workload_args(run)
+    run.add_argument("--system", choices=sorted(SYSTEMS), default="leap")
+
+    sub.add_parser("figures", help="list paper-figure benchmark targets")
+    return parser
+
+
+def _make_workload(args) -> Workload:
+    cls = WORKLOADS[args.workload]
+    kwargs = dict(
+        wss_pages=args.wss_pages, total_accesses=args.accesses, seed=args.seed
+    )
+    if args.workload == "stride":
+        kwargs["stride"] = args.stride
+    return cls(**kwargs)
+
+
+def _run_one(config, args) -> dict:
+    machine = Machine(config)
+    workload = _make_workload(args)
+    result = simulate(machine, {1: workload}, memory_fraction=args.memory)
+    summary = result.recorder.summary()
+    metrics = result.metrics
+    return {
+        "completion_s": result.completion_seconds(1),
+        "p50_us": summary.get("p50", 0.0) / 1000,
+        "p99_us": summary.get("p99", 0.0) / 1000,
+        "faults": metrics.faults,
+        "misses": metrics.misses,
+        "coverage": metrics.coverage,
+        "accuracy": metrics.accuracy,
+    }
+
+
+def _print_rows(rows: dict[str, dict]) -> None:
+    print(
+        format_table(
+            ["system", "completion (s)", "p50 (us)", "p99 (us)",
+             "faults", "misses", "coverage", "accuracy"],
+            [
+                (
+                    name,
+                    f"{row['completion_s']:.3f}",
+                    f"{row['p50_us']:.2f}",
+                    f"{row['p99_us']:.2f}",
+                    row["faults"],
+                    row["misses"],
+                    f"{row['coverage']:.1%}",
+                    f"{row['accuracy']:.1%}",
+                )
+                for name, row in rows.items()
+            ],
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        print(
+            format_table(
+                ["id", "benchmark", "regenerates"],
+                FIGURES,
+                title="Run with: pytest <benchmark> --benchmark-only -s",
+            )
+        )
+        return 0
+    if args.command == "run":
+        rows = {args.system: _run_one(SYSTEMS[args.system](args), args)}
+        _print_rows(rows)
+        return 0
+    if args.command == "compare":
+        rows = {
+            "d-vmm": _run_one(infiniswap_config(seed=args.seed), args),
+            "d-vmm+leap": _run_one(leap_config(seed=args.seed), args),
+        }
+        _print_rows(rows)
+        gain = rows["d-vmm"]["p50_us"] / max(rows["d-vmm+leap"]["p50_us"], 1e-9)
+        print(f"\nmedian fault-latency improvement: {gain:.1f}x")
+        return 0
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

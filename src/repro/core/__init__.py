@@ -1,0 +1,27 @@
+"""Leap's core: trend detection, prefetching, eager eviction (§3–4)."""
+
+from repro.core.access_history import DEFAULT_HISTORY_SIZE, AccessHistory
+from repro.core.eviction import EagerFifoPolicy, make_prefetch_fifo_lru_cache
+from repro.core.leap import Leap
+from repro.core.majority import majority_candidate, majority_threshold, verified_majority
+from repro.core.prefetch_window import DEFAULT_MAX_WINDOW, PrefetchWindow
+from repro.core.prefetcher import LeapPrefetcher
+from repro.core.tracker import IsolatedLeapTracker
+from repro.core.trend import DEFAULT_NSPLIT, find_trend
+
+__all__ = [
+    "AccessHistory",
+    "DEFAULT_HISTORY_SIZE",
+    "DEFAULT_MAX_WINDOW",
+    "DEFAULT_NSPLIT",
+    "EagerFifoPolicy",
+    "IsolatedLeapTracker",
+    "Leap",
+    "LeapPrefetcher",
+    "PrefetchWindow",
+    "find_trend",
+    "majority_candidate",
+    "majority_threshold",
+    "make_prefetch_fifo_lru_cache",
+    "verified_majority",
+]

@@ -1,0 +1,20 @@
+"""Leap's eager prefetch-cache eviction (§4.3), re-exported.
+
+The mechanism is implemented as
+:class:`repro.mem.page_cache.EagerFifoPolicy` so it can be swapped
+against the kernel's :class:`~repro.mem.page_cache.LazyLRUPolicy`
+behind the same :class:`~repro.mem.page_cache.PageCache`; this module
+gives it its paper-facing home and the ``PrefetchFifoLruList`` name
+used in §4.3.
+"""
+
+from __future__ import annotations
+
+from repro.mem.page_cache import EagerFifoPolicy, LazyLRUPolicy, PageCache
+
+__all__ = ["EagerFifoPolicy", "LazyLRUPolicy", "make_prefetch_fifo_lru_cache"]
+
+
+def make_prefetch_fifo_lru_cache(capacity_pages: int | None = None) -> PageCache:
+    """A page cache wired with Leap's eager FIFO policy."""
+    return PageCache(EagerFifoPolicy(), capacity_pages=capacity_pages)

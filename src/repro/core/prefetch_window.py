@@ -1,0 +1,71 @@
+"""Adaptive prefetch window — ``GetPrefetchWindowSize`` of Algorithm 2.
+
+The window size for the next prefetch is driven by how many of the
+*previous* round's prefetched pages were actually consumed (``Chit``):
+
+* ``Chit > 0`` — grow: round ``Chit + 1`` up to the next power of two,
+  capped at ``PWsize_max`` (paper default 8).
+* ``Chit = 0`` — the last round was useless.  If the faulting page at
+  least follows the current trend, probe with a single page; otherwise
+  suspend prefetching entirely.
+* Smooth shrink — whatever the rule above says, never drop below half
+  the previous window in one step, so one noisy round cannot kill an
+  established pattern (§3.2.2: "the prefetch window is shrunk smoothly
+  to make the algorithm flexible to short-term irregularities").
+"""
+
+from __future__ import annotations
+
+__all__ = ["PrefetchWindow", "round_up_power_of_two", "DEFAULT_MAX_WINDOW"]
+
+#: Paper default (§5 methodology): PWsize_max = 8.
+DEFAULT_MAX_WINDOW = 8
+
+
+def round_up_power_of_two(value: int) -> int:
+    """Smallest power of two >= value (value must be positive)."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+class PrefetchWindow:
+    """State machine for the prefetch window size."""
+
+    def __init__(self, max_size: int = DEFAULT_MAX_WINDOW) -> None:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self.max_size = max_size
+        self._previous_size = 0
+        self._cache_hits = 0
+
+    @property
+    def cache_hits(self) -> int:
+        """Prefetched-page hits observed since the last prefetch round."""
+        return self._cache_hits
+
+    @property
+    def previous_size(self) -> int:
+        return self._previous_size
+
+    def record_hit(self) -> None:
+        """A prefetched page was consumed (Chit += 1)."""
+        self._cache_hits += 1
+
+    def next_size(self, follows_trend: bool) -> int:
+        """Compute PWsize_t and roll the round state forward."""
+        if self._cache_hits == 0:
+            size = 1 if follows_trend else 0
+        else:
+            size = round_up_power_of_two(self._cache_hits + 1)
+            size = min(size, self.max_size)
+        half_previous = self._previous_size // 2
+        if size < half_previous:
+            size = half_previous
+        self._cache_hits = 0
+        self._previous_size = size
+        return size
+
+    def reset(self) -> None:
+        self._previous_size = 0
+        self._cache_hits = 0

@@ -1,0 +1,99 @@
+"""The Leap prefetcher — ``DoPrefetch`` of Algorithm 2.
+
+Per process (one instance each; §4.2 chooses process-level over
+thread-level detection), on every fault the delta stream feeds the
+:class:`AccessHistory`; on every full miss the prefetcher:
+
+1. sizes the window from last round's utility
+   (:class:`PrefetchWindow`),
+2. looks for a majority trend (:func:`find_trend`), and
+3. emits candidates along the found trend — or, when the trend has
+   momentarily vanished, *speculates* along the most recent known
+   trend rather than giving up (§3.2.2: short-term irregularities must
+   not suspend prefetching outright).
+
+Leap reasons in the process's *virtual* page-number space: temporal
+locality of virtual accesses translates to spatial locality in the
+backing store (§3.2.1), so a vpn-space stride is the right signal even
+though the data lands in remote slabs.
+"""
+
+from __future__ import annotations
+
+from repro.core.access_history import DEFAULT_HISTORY_SIZE, AccessHistory
+from repro.core.prefetch_window import DEFAULT_MAX_WINDOW, PrefetchWindow
+from repro.core.trend import DEFAULT_NSPLIT, find_trend
+from repro.mem.page import PageKey
+from repro.prefetchers.base import Prefetcher
+
+__all__ = ["LeapPrefetcher"]
+
+
+class LeapPrefetcher(Prefetcher):
+    """Majority-trend prefetcher for a single process."""
+
+    name = "leap"
+
+    def __init__(
+        self,
+        pid: int,
+        history_size: int = DEFAULT_HISTORY_SIZE,
+        n_split: int = DEFAULT_NSPLIT,
+        max_window: int = DEFAULT_MAX_WINDOW,
+    ) -> None:
+        self.pid = pid
+        self.n_split = n_split
+        self.history = AccessHistory(history_size)
+        self.window = PrefetchWindow(max_window)
+        self._last_trend: int | None = None
+        self._last_delta: int | None = None
+
+    def reset(self) -> None:
+        self.history.clear()
+        self.window.reset()
+        self._last_trend = None
+        self._last_delta = None
+
+    @property
+    def last_trend(self) -> int | None:
+        """The most recently detected majority Δ (None before any)."""
+        return self._last_trend
+
+    def on_fault(self, key: PageKey, now: int, cache_hit: bool) -> None:
+        pid, vpn = key
+        if pid != self.pid:
+            raise ValueError(
+                f"prefetcher for pid {self.pid} saw a fault for pid {pid}; "
+                f"per-process isolation is broken"
+            )
+        self._last_delta = self.history.record_access(vpn)
+
+    def on_prefetch_hit(self, key: PageKey, now: int) -> None:
+        self.window.record_hit()
+
+    def _follows_trend(self) -> bool:
+        return (
+            self._last_trend is not None
+            and self._last_delta is not None
+            and self._last_delta == self._last_trend
+        )
+
+    def candidates(self, key: PageKey, now: int) -> list[PageKey]:
+        pid, vpn = key
+        trend = find_trend(self.history, self.n_split)
+        if trend is not None:
+            self._last_trend = trend
+        size = self.window.next_size(self._follows_trend())
+        if size == 0:
+            return []
+        if trend is None:
+            # Speculative round (Algorithm 2, line 25): ride the latest
+            # known trend through the irregularity instead of stopping.
+            trend = self._last_trend
+        if trend is None or trend == 0:
+            return []
+        return [
+            (pid, target)
+            for step in range(1, size + 1)
+            if (target := vpn + trend * step) >= 0
+        ]

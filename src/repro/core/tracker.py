@@ -1,0 +1,69 @@
+"""Process-isolated page access tracking (§4.1).
+
+Leap isolates each process's remote-access data path: every process
+gets its own ``AccessHistory`` and prefetch state, so one process's
+access pattern can never pollute another's trend detection — the
+property the multi-application experiment (Figure 13) leans on.
+
+:class:`IsolatedLeapTracker` presents the whole ensemble as a single
+:class:`~repro.prefetchers.base.Prefetcher`, creating a per-process
+:class:`~repro.core.prefetcher.LeapPrefetcher` lazily at a process's
+first fault.
+"""
+
+from __future__ import annotations
+
+from repro.core.access_history import DEFAULT_HISTORY_SIZE
+from repro.core.prefetch_window import DEFAULT_MAX_WINDOW
+from repro.core.prefetcher import LeapPrefetcher
+from repro.core.trend import DEFAULT_NSPLIT
+from repro.mem.page import PageKey
+from repro.prefetchers.base import Prefetcher
+
+__all__ = ["IsolatedLeapTracker"]
+
+
+class IsolatedLeapTracker(Prefetcher):
+    """One LeapPrefetcher per process behind a single interface."""
+
+    name = "leap"
+
+    def __init__(
+        self,
+        history_size: int = DEFAULT_HISTORY_SIZE,
+        n_split: int = DEFAULT_NSPLIT,
+        max_window: int = DEFAULT_MAX_WINDOW,
+    ) -> None:
+        self.history_size = history_size
+        self.n_split = n_split
+        self.max_window = max_window
+        self._per_process: dict[int, LeapPrefetcher] = {}
+
+    def prefetcher_for(self, pid: int) -> LeapPrefetcher:
+        prefetcher = self._per_process.get(pid)
+        if prefetcher is None:
+            prefetcher = LeapPrefetcher(
+                pid,
+                history_size=self.history_size,
+                n_split=self.n_split,
+                max_window=self.max_window,
+            )
+            self._per_process[pid] = prefetcher
+        return prefetcher
+
+    @property
+    def tracked_pids(self) -> list[int]:
+        return sorted(self._per_process)
+
+    def on_fault(self, key: PageKey, now: int, cache_hit: bool) -> None:
+        self.prefetcher_for(key[0]).on_fault(key, now, cache_hit)
+
+    def candidates(self, key: PageKey, now: int) -> list[PageKey]:
+        return self.prefetcher_for(key[0]).candidates(key, now)
+
+    def on_prefetch_hit(self, key: PageKey, now: int) -> None:
+        self.prefetcher_for(key[0]).on_prefetch_hit(key, now)
+
+    def reset(self) -> None:
+        for prefetcher in self._per_process.values():
+            prefetcher.reset()

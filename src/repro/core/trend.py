@@ -1,0 +1,47 @@
+"""Trend detection — Algorithm 1 (``FindTrend``) from the paper.
+
+Starting from a small suffix window of the access history (``Hsize /
+Nsplit`` newest deltas), look for a verified majority Δ; on failure,
+double the window and retry, giving up once the window exceeds the
+recorded history.  A small window finds a fresh trend quickly after a
+shift (the Figure 5 walkthrough finds the new +2 trend within four
+entries of the change); the doubling fallback rides out short-term
+irregularities that would starve a strict detector.
+
+Complexity: the windows form a geometric series, so the total work is
+O(2·Hsize) = O(Hsize) even though each window is scanned afresh — the
+same bound §3.3 argues for the in-kernel implementation.
+"""
+
+from __future__ import annotations
+
+from repro.core.access_history import AccessHistory
+from repro.core.majority import verified_majority
+
+__all__ = ["find_trend", "DEFAULT_NSPLIT"]
+
+#: Paper default: the first detection window is Hsize/2 (§3.2.1 example).
+DEFAULT_NSPLIT = 2
+
+
+def find_trend(history: AccessHistory, n_split: int = DEFAULT_NSPLIT) -> int | None:
+    """Return the majority Δ of the most recent accesses, or None.
+
+    ``n_split`` controls the starting window: ``Hsize / n_split``.
+    A larger ``n_split`` looks at a smaller recent window first, which
+    adapts faster to trend changes but is more easily fooled by noise.
+    """
+    if n_split < 1:
+        raise ValueError(f"n_split must be >= 1, got {n_split}")
+    recorded = len(history)
+    if recorded == 0:
+        return None
+    window_size = max(1, history.capacity // n_split)
+    while True:
+        window = history.window(window_size)
+        majority = verified_majority(window)
+        if majority is not None:
+            return majority
+        if len(window) >= recorded or window_size * 2 > history.capacity:
+            return None
+        window_size *= 2

@@ -1,0 +1,30 @@
+"""Data paths: the legacy block layer and Leap's lean path."""
+
+from repro.datapath.backends import DiskBackend, IOBackend, RemoteBackend
+from repro.datapath.base import DataPath, ReadTiming
+from repro.datapath.block_layer import LegacyBlockPath
+from repro.datapath.lean_path import LeanLeapPath
+from repro.datapath.stages import (
+    CACHE_LOOKUP_NS,
+    StageModel,
+    StageSample,
+    default_lean_stages,
+    default_legacy_stages,
+)
+from repro.datapath.swap import SwapSlotAllocator
+
+__all__ = [
+    "CACHE_LOOKUP_NS",
+    "DataPath",
+    "DiskBackend",
+    "IOBackend",
+    "LeanLeapPath",
+    "LegacyBlockPath",
+    "ReadTiming",
+    "RemoteBackend",
+    "StageModel",
+    "StageSample",
+    "SwapSlotAllocator",
+    "default_lean_stages",
+    "default_legacy_stages",
+]

@@ -1,0 +1,40 @@
+"""The legacy block-layer data path (what Leap replaces).
+
+Every miss pays the full Figure 1 budget: bio preparation and device
+mapping (~10 µs), the block layer's insertion / merging / sorting /
+staging queues (~22 µs, heavy-tailed), and driver dispatch (~2.1 µs) —
+before the medium even starts.  This is the path used by Linux swap,
+Infiniswap's default configuration, and Remote Regions' default file
+path in the paper's baselines.
+
+Even a cache *hit* on this path costs ~1.5 µs: the swap-in fast path
+still walks the radix tree under locks, updates the LRU lists, and
+maintains readahead state — the "constant implementation overheads
+that cap their minimum latency to around 1 µs" of Figure 2.
+"""
+
+from __future__ import annotations
+
+from repro.datapath.backends import IOBackend
+from repro.datapath.base import DataPath
+from repro.datapath.stages import StageModel, default_legacy_stages
+from repro.sim.rng import SimRandom
+from repro.sim.units import us
+
+__all__ = ["LegacyBlockPath"]
+
+
+class LegacyBlockPath(DataPath):
+    """Throughput-optimized path designed for slow disks."""
+
+    name = "legacy-block"
+    hit_median_ns = us(1.5)
+    hit_sigma = 0.1
+
+    def __init__(
+        self,
+        backend: IOBackend,
+        rng: SimRandom,
+        stages: StageModel | None = None,
+    ) -> None:
+        super().__init__(backend, stages or default_legacy_stages(rng), rng)

@@ -1,0 +1,127 @@
+"""Data path stage latency models, calibrated to Figure 1.
+
+The paper breaks a default-path page miss into stages and reports their
+measured costs on the testbed:
+
+========================  ==========  =============================
+Stage                      Median      Notes
+========================  ==========  =============================
+Page/VFS cache lookup      0.27 µs     paid on every access
+Request prep (bio, DM)    10.04 µs     moderate variance
+Block queueing            21.88 µs     insertion/merge/sort/stage;
+                                       dominant and highly variable
+Driver dispatch            2.10 µs     paid by both paths
+Leap software overhead    ~0.25 µs     trend detection + candidate
+                                       generation (§3.3: O(Hsize))
+========================  ==========  =============================
+
+The queueing stage carries a heavy log-normal tail: §2.2 observes that
+"significant variations in the preparation and batching stages of the
+data path cause the average to stray far from the median", and this is
+what produces the paper's 100×-scale tail gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import SimRandom
+from repro.sim.units import ns, us
+
+__all__ = [
+    "StageModel",
+    "StageSample",
+    "CACHE_LOOKUP_NS",
+    "default_legacy_stages",
+    "default_lean_stages",
+]
+
+#: Cost of one page-cache / swap-cache lookup (Figure 1: 0.27 µs).
+CACHE_LOOKUP_NS = ns(270)
+
+
+@dataclass(frozen=True)
+class StageSample:
+    """One sampled traversal of a data path's software stages."""
+
+    prep_ns: int
+    queueing_ns: int
+    dispatch_ns: int
+
+    @property
+    def total_ns(self) -> int:
+        return self.prep_ns + self.queueing_ns + self.dispatch_ns
+
+
+class StageModel:
+    """Samples the software-stage cost of one request."""
+
+    def __init__(
+        self,
+        rng: SimRandom,
+        prep_median_ns: int,
+        prep_sigma: float,
+        queueing_median_ns: int,
+        queueing_sigma: float,
+        dispatch_median_ns: int = us(2.1),
+        dispatch_sigma: float = 0.15,
+    ) -> None:
+        self._rng = rng
+        self.prep_median_ns = prep_median_ns
+        self.prep_sigma = prep_sigma
+        self.queueing_median_ns = queueing_median_ns
+        self.queueing_sigma = queueing_sigma
+        self.dispatch_median_ns = dispatch_median_ns
+        self.dispatch_sigma = dispatch_sigma
+
+    def _draw(self, median_ns: int, sigma: float) -> int:
+        if median_ns == 0:
+            return 0
+        return self._rng.lognormal_ns(median_ns, sigma)
+
+    def sample_read(self) -> StageSample:
+        return StageSample(
+            prep_ns=self._draw(self.prep_median_ns, self.prep_sigma),
+            queueing_ns=self._draw(self.queueing_median_ns, self.queueing_sigma),
+            dispatch_ns=self._draw(self.dispatch_median_ns, self.dispatch_sigma),
+        )
+
+    def sample_write(self) -> StageSample:
+        """Write-out stage costs.
+
+        Page-out traffic is batched by the kernel, so the per-page
+        share of prep and queueing is lower than for a blocking demand
+        read; dispatch is unchanged.
+        """
+        return StageSample(
+            prep_ns=self._draw(self.prep_median_ns // 4, self.prep_sigma),
+            queueing_ns=self._draw(self.queueing_median_ns // 4, self.queueing_sigma),
+            dispatch_ns=self._draw(self.dispatch_median_ns, self.dispatch_sigma),
+        )
+
+
+def default_legacy_stages(rng: SimRandom) -> StageModel:
+    """The Figure 1 block-layer budget."""
+    return StageModel(
+        rng,
+        prep_median_ns=us(10.04),
+        prep_sigma=0.4,
+        queueing_median_ns=us(21.88),
+        queueing_sigma=0.7,
+    )
+
+
+def default_lean_stages(rng: SimRandom) -> StageModel:
+    """Leap's lean path: no bio prep, no block queueing.
+
+    Only the per-request software work of the prefetcher and tracker
+    (§3.3 argues this is O(Hsize) integer operations, well under a
+    microsecond) plus the driver dispatch survive.
+    """
+    return StageModel(
+        rng,
+        prep_median_ns=ns(250),
+        prep_sigma=0.3,
+        queueing_median_ns=0,
+        queueing_sigma=0.0,
+    )

@@ -1,0 +1,101 @@
+"""Swap-slot allocation for disk-backed paging.
+
+The kernel allocates swap slots roughly in the order pages are evicted,
+scanning the swap map for free clusters.  Two consequences matter for
+prefetching and are reproduced here:
+
+* pages evicted together receive *contiguous* slots, so temporal
+  locality at eviction time becomes spatial locality on the device
+  (§3.2.1 relies on the same effect for remote memory), and
+* all processes share one swap area, so slots from different processes
+  interleave — which is exactly why Linux Read-Ahead's "prefetch the
+  aligned block around the faulting slot" can drag in another process's
+  pages (§2.3).
+"""
+
+from __future__ import annotations
+
+__all__ = ["SwapSlotAllocator"]
+
+
+class SwapSlotAllocator:
+    """Assigns device offsets (page units) to evicted pages."""
+
+    def __init__(self) -> None:
+        self._slots: dict[object, int] = {}
+        self._owner_by_slot: dict[int, object] = {}
+        self._next_slot = 0
+        self._free_slots: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def slot_of(self, key: object) -> int | None:
+        return self._slots.get(key)
+
+    def key_at(self, slot: int) -> object | None:
+        """Reverse lookup: which page owns *slot* (for readahead)."""
+        return self._owner_by_slot.get(slot)
+
+    def assign(self, key: object) -> int:
+        """Give *key* a slot, preferring to reuse freed slots.
+
+        Idempotent: a page that already has a slot keeps it (the kernel
+        keeps the swap entry until the slot is freed).
+        """
+        existing = self._slots.get(key)
+        if existing is not None:
+            return existing
+        if self._free_slots:
+            slot = self._free_slots.pop()
+        else:
+            slot = self._next_slot
+            self._next_slot += 1
+        self._slots[key] = slot
+        self._owner_by_slot[slot] = key
+        return slot
+
+    def reassign_at_frontier(self, key: object) -> int:
+        """Move *key* to a fresh slot at the allocation frontier.
+
+        This is the swap-clustering behaviour of the kernel's slot
+        allocator: pages written out together in one reclaim batch land
+        on consecutive device offsets, so write-back I/O is sequential
+        and temporal eviction locality becomes spatial device locality
+        (§3.2.1).  The old slot is abandoned (no reuse) — device
+        address space is unbounded in simulation.
+        """
+        old_slot = self._slots.pop(key, None)
+        if old_slot is not None:
+            del self._owner_by_slot[old_slot]
+        slot = self._next_slot
+        self._next_slot += 1
+        self._slots[key] = slot
+        self._owner_by_slot[slot] = key
+        return slot
+
+    def release(self, key: object) -> None:
+        """Free *key*'s slot (page became resident and dirty again)."""
+        slot = self._slots.pop(key, None)
+        if slot is None:
+            return
+        del self._owner_by_slot[slot]
+        self._free_slots.append(slot)
+
+    def neighbours(self, key: object, before: int, after: int) -> list[object]:
+        """Pages occupying the slots around *key*'s slot.
+
+        This is what Linux Read-Ahead actually prefetches: the aligned
+        block of *device* neighbours, whoever they belong to.
+        """
+        slot = self._slots.get(key)
+        if slot is None:
+            return []
+        found = []
+        for offset in range(slot - before, slot + after + 1):
+            if offset == slot or offset < 0:
+                continue
+            owner = self._owner_by_slot.get(offset)
+            if owner is not None:
+                found.append(owner)
+        return found

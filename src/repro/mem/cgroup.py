@@ -1,0 +1,80 @@
+"""cgroup-style memory limits.
+
+The paper drives all of its application experiments by capping each
+process's resident memory at 100% / 50% / 25% of its peak usage with
+cgroups (§5.3).  This module reproduces the accounting side: a charge
+per resident page, a hard limit, and a high-watermark that wakes the
+background reclaimer before the limit is actually hit (mirroring the
+kernel's ``memory.high`` / watermark behaviour that keeps ``kswapd``
+ahead of direct reclaim).
+"""
+
+from __future__ import annotations
+
+__all__ = ["MemoryCgroup", "CgroupOverLimitError"]
+
+
+class CgroupOverLimitError(RuntimeError):
+    """Raised if a charge would exceed the hard limit.
+
+    The VMM is expected to reclaim *before* charging, so this firing
+    indicates a logic bug rather than ordinary memory pressure.
+    """
+
+
+class MemoryCgroup:
+    """Resident-page accounting with a hard limit and a reclaim watermark."""
+
+    def __init__(self, name: str, limit_pages: int, high_watermark: float = 0.9) -> None:
+        if limit_pages <= 0:
+            raise ValueError(f"limit_pages must be positive, got {limit_pages}")
+        if not 0.0 < high_watermark <= 1.0:
+            raise ValueError(f"high_watermark must be in (0, 1], got {high_watermark}")
+        self.name = name
+        self.limit_pages = limit_pages
+        self.high_watermark_pages = max(1, int(limit_pages * high_watermark))
+        self.charged_pages = 0
+        self.peak_charged_pages = 0
+
+    @property
+    def available_pages(self) -> int:
+        return self.limit_pages - self.charged_pages
+
+    def can_charge(self, n_pages: int = 1) -> bool:
+        return self.charged_pages + n_pages <= self.limit_pages
+
+    def charge(self, n_pages: int = 1) -> None:
+        """Account *n_pages* of new resident memory."""
+        if n_pages < 0:
+            raise ValueError(f"cannot charge a negative page count: {n_pages}")
+        if self.charged_pages + n_pages > self.limit_pages:
+            raise CgroupOverLimitError(
+                f"cgroup {self.name!r}: charging {n_pages} pages would exceed "
+                f"limit {self.limit_pages} (currently {self.charged_pages})"
+            )
+        self.charged_pages += n_pages
+        self.peak_charged_pages = max(self.peak_charged_pages, self.charged_pages)
+
+    def uncharge(self, n_pages: int = 1) -> None:
+        if n_pages < 0:
+            raise ValueError(f"cannot uncharge a negative page count: {n_pages}")
+        if n_pages > self.charged_pages:
+            raise ValueError(
+                f"cgroup {self.name!r}: uncharging {n_pages} pages but only "
+                f"{self.charged_pages} are charged"
+            )
+        self.charged_pages -= n_pages
+
+    def above_watermark(self) -> bool:
+        """True when background reclaim should be running."""
+        return self.charged_pages >= self.high_watermark_pages
+
+    def pressure(self) -> float:
+        """Fraction of the limit currently in use (0.0 – 1.0)."""
+        return self.charged_pages / self.limit_pages
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryCgroup(name={self.name!r}, "
+            f"charged={self.charged_pages}/{self.limit_pages})"
+        )

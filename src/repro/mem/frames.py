@@ -1,0 +1,71 @@
+"""Physical frame accounting.
+
+The simulator does not copy page contents anywhere, so a "frame" is
+purely an accounting unit: the allocator hands out opaque frame numbers
+up to a fixed capacity and refuses allocations past it.  The virtual
+memory manager reacts to a refused allocation the way the kernel does —
+by reclaiming — so the conservation invariant here (allocated + free ==
+capacity, no double free, no double allocation) is what keeps the whole
+paging simulation honest.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FrameAllocator", "OutOfFramesError"]
+
+
+class OutOfFramesError(RuntimeError):
+    """Raised when an allocation is requested and no frame is free."""
+
+
+class FrameAllocator:
+    """Fixed-capacity allocator of opaque frame numbers."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+        self._allocated: set[int] = set()
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    def try_allocate(self) -> int | None:
+        """Allocate a frame, or return None when none are free."""
+        if not self._free:
+            return None
+        frame = self._free.pop()
+        self._allocated.add(frame)
+        return frame
+
+    def allocate(self) -> int:
+        """Allocate a frame, raising :class:`OutOfFramesError` when full."""
+        frame = self.try_allocate()
+        if frame is None:
+            raise OutOfFramesError(
+                f"all {self.capacity} frames allocated; reclaim before allocating"
+            )
+        return frame
+
+    def free(self, frame: int) -> None:
+        """Return *frame* to the free pool."""
+        if frame not in self._allocated:
+            raise ValueError(f"frame {frame} is not currently allocated")
+        self._allocated.remove(frame)
+        self._free.append(frame)
+
+    def is_allocated(self, frame: int) -> bool:
+        return frame in self._allocated
+
+    def check_conservation(self) -> bool:
+        """Invariant check used by the property tests."""
+        return (
+            len(self._free) + len(self._allocated) == self.capacity
+            and not self._allocated.intersection(self._free)
+        )

@@ -1,0 +1,175 @@
+"""LRU list machinery used by the page cache and the reclaim daemon.
+
+Two structures live here:
+
+* :class:`LRUList` — a single ordered list with O(1) add / touch /
+  remove / pop-oldest, built on a :class:`dict` (insertion ordered)
+  so there is no separate node allocation.
+* :class:`ActiveInactiveLRU` — the two-list scheme Linux uses.  New
+  pages enter the *inactive* list; a reference promotes a page to the
+  *active* list; reclaim scans the inactive tail and demotes active
+  pages when the inactive list gets too short.  The Figure 4 effect —
+  consumed prefetch pages lingering for a long time before ``kswapd``
+  gets to them — falls out of exactly this structure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Sentinel distinguishing "absent" from a stored value of None.
+_MISSING = object()
+
+
+class LRUList(Generic[K, V]):
+    """An ordered map where iteration order is least-recently-used first."""
+
+    def __init__(self) -> None:
+        self._entries: dict[K, V] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate keys from least to most recently used."""
+        return iter(self._entries)
+
+    def get(self, key: K) -> Optional[V]:
+        return self._entries.get(key)
+
+    def add(self, key: K, value: V) -> None:
+        """Insert *key* as the most recently used entry.
+
+        Re-adding an existing key moves it to the MRU position and
+        replaces its value.
+        """
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = value
+
+    def touch(self, key: K) -> bool:
+        """Move *key* to the MRU position; returns False if absent."""
+        value = self._entries.pop(key, _MISSING)
+        if value is _MISSING:
+            return False
+        self._entries[key] = value  # type: ignore[assignment]
+        return True
+
+    def remove(self, key: K) -> Optional[V]:
+        """Remove *key*, returning its value or None if absent."""
+        return self._entries.pop(key, None)
+
+    def pop_lru(self) -> Optional[tuple[K, V]]:
+        """Remove and return the least recently used (key, value)."""
+        if not self._entries:
+            return None
+        key = next(iter(self._entries))
+        return key, self._entries.pop(key)
+
+    def peek_lru(self) -> Optional[tuple[K, V]]:
+        """Return the least recently used (key, value) without removing."""
+        if not self._entries:
+            return None
+        key = next(iter(self._entries))
+        return key, self._entries[key]
+
+    def keys_lru_order(self) -> list[K]:
+        """Snapshot of keys from least to most recently used."""
+        return list(self._entries)
+
+
+class ActiveInactiveLRU(Generic[K, V]):
+    """Linux-style two-list LRU.
+
+    New pages land on the inactive list.  :meth:`reference` promotes an
+    inactive page to active (second-chance).  :meth:`scan_inactive`
+    yields eviction candidates from the inactive tail, refilling from
+    the active list when the inactive share drops below
+    ``inactive_ratio`` of the total.
+    """
+
+    def __init__(self, inactive_ratio: float = 0.5) -> None:
+        if not 0.0 < inactive_ratio < 1.0:
+            raise ValueError(f"inactive_ratio must be in (0, 1), got {inactive_ratio}")
+        self.inactive_ratio = inactive_ratio
+        self._active: LRUList[K, V] = LRUList()
+        self._inactive: LRUList[K, V] = LRUList()
+
+    def __len__(self) -> int:
+        return len(self._active) + len(self._inactive)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._active or key in self._inactive
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def inactive_count(self) -> int:
+        return len(self._inactive)
+
+    def add(self, key: K, value: V) -> None:
+        """Insert a new page on the inactive list (cold entry)."""
+        self._active.remove(key)
+        self._inactive.add(key, value)
+
+    def get(self, key: K) -> Optional[V]:
+        value = self._inactive.get(key)
+        if value is not None:
+            return value
+        return self._active.get(key)
+
+    def reference(self, key: K) -> bool:
+        """Record a use of *key*; inactive pages are promoted to active."""
+        if key in self._inactive:
+            value = self._inactive.remove(key)
+            self._active.add(key, value)  # type: ignore[arg-type]
+            return True
+        return self._active.touch(key)
+
+    def remove(self, key: K) -> Optional[V]:
+        if key in self._inactive:
+            return self._inactive.remove(key)
+        return self._active.remove(key)
+
+    def _rebalance(self) -> None:
+        """Demote active pages until the inactive share is restored."""
+        total = len(self)
+        needed = math.ceil(total * self.inactive_ratio)
+        while total and len(self._inactive) < needed:
+            demoted = self._active.pop_lru()
+            if demoted is None:
+                break
+            key, value = demoted
+            self._inactive.add(key, value)
+
+    def scan_inactive(self, max_scan: int) -> list[tuple[K, V]]:
+        """Take up to *max_scan* eviction candidates from the cold tail.
+
+        Mirrors ``shrink_inactive_list``: the inactive list is refilled
+        from the active list first, then candidates are popped from the
+        inactive LRU end.  Candidates are *removed* from the lists; the
+        caller decides whether to free or re-add them.
+        """
+        if max_scan <= 0:
+            return []
+        self._rebalance()
+        victims: list[tuple[K, V]] = []
+        while len(victims) < max_scan:
+            entry = self._inactive.pop_lru()
+            if entry is None:
+                break
+            victims.append(entry)
+        return victims
+
+    def keys_eviction_order(self) -> list[K]:
+        """All keys, coldest first (inactive LRU..MRU, then active)."""
+        return self._inactive.keys_lru_order() + self._active.keys_lru_order()

@@ -1,0 +1,92 @@
+"""Page identity and metadata.
+
+The simulator tracks memory at 4 KB page granularity, like the paper.
+A page is identified by ``(pid, vpn)`` — the owning process and the
+virtual page number inside that process's address space.  The paper's
+swap layout observation (§3.2.1: pages that are evicted together land
+at contiguous or nearby *remote* addresses) is modelled by the slab
+mapper in :mod:`repro.rdma.slab`, which assigns remote offsets in
+eviction order; here we only carry the identity and bookkeeping bits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sim.units import PAGE_SIZE
+
+__all__ = ["PAGE_SIZE", "PageKey", "PageFlags", "Page", "page_key"]
+
+#: Identity of a page: (process id, virtual page number).
+PageKey = tuple[int, int]
+
+
+def page_key(pid: int, vpn: int) -> PageKey:
+    """Build a :data:`PageKey`, validating both components."""
+    if pid < 0:
+        raise ValueError(f"pid must be non-negative, got {pid}")
+    if vpn < 0:
+        raise ValueError(f"vpn must be non-negative, got {vpn}")
+    return (pid, vpn)
+
+
+class PageFlags(enum.Flag):
+    """Status bits mirroring the kernel page flags the simulator needs."""
+
+    NONE = 0
+    #: Contents differ from the backing store; eviction must write back.
+    DIRTY = enum.auto()
+    #: Page was brought in by a prefetcher, not by a demand fault.
+    PREFETCHED = enum.auto()
+    #: Page is mapped into the owning process's page table.
+    MAPPED = enum.auto()
+    #: Page content has been consumed at least once after arrival.
+    REFERENCED = enum.auto()
+
+
+@dataclass
+class Page:
+    """Bookkeeping record for one in-memory (or in-flight) page.
+
+    ``arrival_time`` is when the page's contents became (or will
+    become) available in local memory; a prefetched page that has been
+    *issued* but not yet *arrived* has ``arrival_time`` in the future.
+    """
+
+    key: PageKey
+    flags: PageFlags = PageFlags.NONE
+    arrival_time: int = 0
+    issued_time: int = 0
+    last_access_time: int = 0
+    flags_history: int = field(default=0, repr=False)
+
+    @property
+    def pid(self) -> int:
+        return self.key[0]
+
+    @property
+    def vpn(self) -> int:
+        return self.key[1]
+
+    def set_flag(self, flag: PageFlags) -> None:
+        self.flags |= flag
+        self.flags_history |= flag.value
+
+    def clear_flag(self, flag: PageFlags) -> None:
+        self.flags &= ~flag
+
+    def has_flag(self, flag: PageFlags) -> bool:
+        return bool(self.flags & flag)
+
+    @property
+    def dirty(self) -> bool:
+        return self.has_flag(PageFlags.DIRTY)
+
+    @property
+    def prefetched(self) -> bool:
+        return self.has_flag(PageFlags.PREFETCHED)
+
+    def is_ready(self, now: int) -> bool:
+        """True when the page's contents have landed in local memory."""
+        return self.arrival_time <= now

@@ -1,0 +1,75 @@
+"""Per-process page table.
+
+Tracks, for each virtual page number, whether the page is resident in
+local memory (and in which frame) or has been paged out to the backing
+store.  Hardware details (multi-level radix walks, TLBs) are out of
+scope: the paper's data path work starts at the page-fault handler, so
+"present or not, dirty or not" is the full contract the simulator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["PageTableEntry", "PageTable"]
+
+
+@dataclass
+class PageTableEntry:
+    """State of one mapped virtual page."""
+
+    vpn: int
+    frame: int
+    dirty: bool = False
+    mapped_at: int = 0
+
+
+class PageTable:
+    """Mapping of virtual page numbers to resident frames for one process."""
+
+    def __init__(self, pid: int) -> None:
+        if pid < 0:
+            raise ValueError(f"pid must be non-negative, got {pid}")
+        self.pid = pid
+        self._entries: dict[int, PageTableEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def is_resident(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def lookup(self, vpn: int) -> PageTableEntry | None:
+        return self._entries.get(vpn)
+
+    def map_page(self, vpn: int, frame: int, now: int, dirty: bool = False) -> PageTableEntry:
+        """Install a mapping for *vpn*; the page must not be resident."""
+        if vpn in self._entries:
+            raise ValueError(f"vpn {vpn} is already resident (pid {self.pid})")
+        entry = PageTableEntry(vpn=vpn, frame=frame, dirty=dirty, mapped_at=now)
+        self._entries[vpn] = entry
+        return entry
+
+    def unmap_page(self, vpn: int) -> PageTableEntry:
+        """Remove the mapping for *vpn*, returning the old entry."""
+        entry = self._entries.pop(vpn, None)
+        if entry is None:
+            raise KeyError(f"vpn {vpn} is not resident (pid {self.pid})")
+        return entry
+
+    def mark_dirty(self, vpn: int) -> None:
+        entry = self._entries.get(vpn)
+        if entry is None:
+            raise KeyError(f"vpn {vpn} is not resident (pid {self.pid})")
+        entry.dirty = True
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._entries)
+
+    def resident_vpns(self) -> Iterator[int]:
+        return iter(self._entries)

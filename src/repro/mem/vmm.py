@@ -1,0 +1,365 @@
+"""The virtual memory manager: the fault path, end to end.
+
+This is where the substrates compose into the paper's Figure 1 / 6
+flow.  For every page access:
+
+1. **Resident?** Page-table hit; no kernel work (the MMU handles it).
+2. **First touch?** Minor fault — allocate and zero-fill; no backing
+   store involved.  (Warmup phases materialize working sets this way,
+   and first evictions then give pages their backing-store placement
+   in eviction order, reproducing the swap-layout contiguity both
+   Read-Ahead and Leap rely on.)
+3. **Page cache hit?** Pay the path's hit cost (ready) or block until
+   the in-flight prefetch lands (partial stall).  Consume the entry —
+   instantly freed under Leap's eager policy — and feed the
+   prefetcher's accuracy loop.
+4. **Full miss** — pay allocation wait (pressure-dependent, §4.3),
+   walk the data path to the backing store, then consult the
+   prefetcher and issue its candidates asynchronously.
+
+Eviction is cgroup-driven: mapping past the process's limit unmaps its
+coldest resident page; dirty or never-placed victims are written back
+asynchronously through the same data path (sharing, and congesting,
+the dispatch queues).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.datapath.base import DataPath
+from repro.datapath.stages import CACHE_LOOKUP_NS
+from repro.mem.cgroup import MemoryCgroup
+from repro.mem.lru import ActiveInactiveLRU
+from repro.mem.page import Page, PageFlags, PageKey
+from repro.mem.page_cache import PageCache
+from repro.mem.page_table import PageTable
+from repro.mem.reclaim import KswapdReclaimer
+from repro.metrics.counters import PrefetchMetrics
+from repro.metrics.latency import LatencyRecorder
+from repro.prefetchers.base import Prefetcher
+from repro.sim.units import ns
+
+__all__ = ["AccessKind", "AccessOutcome", "ProcessMemory", "VirtualMemoryManager"]
+
+#: Page-table update when a cached page is mapped in.
+MAP_COST_NS = ns(100)
+
+
+class AccessKind(enum.Enum):
+    """How an access was served."""
+
+    RESIDENT = "resident"
+    MINOR_FAULT = "minor_fault"
+    CACHE_HIT = "cache_hit"
+    CACHE_HIT_INFLIGHT = "cache_hit_inflight"
+    MAJOR_FAULT = "major_fault"
+
+
+#: Kinds that represent remote/backing-store page access events — the
+#: population the paper's latency CDFs are drawn over.
+FAULT_KINDS = (
+    AccessKind.CACHE_HIT,
+    AccessKind.CACHE_HIT_INFLIGHT,
+    AccessKind.MAJOR_FAULT,
+)
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one page access."""
+
+    kind: AccessKind
+    latency_ns: int
+    key: PageKey
+    served_by_prefetch: bool = False
+
+
+@dataclass
+class ProcessMemory:
+    """Per-process memory state (page table, cgroup, residency LRU)."""
+
+    pid: int
+    page_table: PageTable
+    cgroup: MemoryCgroup
+    address_space_pages: int
+    core: int = 0
+    resident_lru: ActiveInactiveLRU = field(default_factory=ActiveInactiveLRU)
+    materialized: set[int] = field(default_factory=set)
+    evictions: int = 0
+    writebacks: int = 0
+    #: Cgroup charges currently held by page-cache entries of this pid.
+    cache_charged: int = 0
+    #: Insertion-ordered keys of this pid's cache entries (reclaim scan).
+    cache_fifo: deque = field(default_factory=deque)
+
+
+class VirtualMemoryManager:
+    """Demand paging over a pluggable data path and prefetcher."""
+
+    def __init__(
+        self,
+        data_path: DataPath,
+        cache: PageCache,
+        reclaimer: KswapdReclaimer,
+        prefetcher: Prefetcher,
+        metrics: PrefetchMetrics | None = None,
+        recorder: LatencyRecorder | None = None,
+    ) -> None:
+        self.data_path = data_path
+        self.cache = cache
+        self.reclaimer = reclaimer
+        self.prefetcher = prefetcher
+        self.metrics = metrics if metrics is not None else PrefetchMetrics()
+        self.recorder = recorder
+        self._processes: dict[int, ProcessMemory] = {}
+        self._next_frame = 0
+        self.cache.on_free = self._on_cache_free
+
+    # -- process management -------------------------------------------------
+    def register_process(
+        self,
+        pid: int,
+        limit_pages: int,
+        address_space_pages: int,
+        core: int = 0,
+    ) -> ProcessMemory:
+        if pid in self._processes:
+            raise ValueError(f"pid {pid} is already registered")
+        if address_space_pages <= 0:
+            raise ValueError(
+                f"address space must be positive, got {address_space_pages}"
+            )
+        process = ProcessMemory(
+            pid=pid,
+            page_table=PageTable(pid),
+            cgroup=MemoryCgroup(f"pid-{pid}", limit_pages),
+            address_space_pages=address_space_pages,
+            core=core,
+        )
+        self._processes[pid] = process
+        return process
+
+    def process(self, pid: int) -> ProcessMemory:
+        return self._processes[pid]
+
+    @property
+    def processes(self) -> list[ProcessMemory]:
+        return list(self._processes.values())
+
+    # -- internals -------------------------------------------------------
+    def _on_cache_free(self, entry, now: int) -> None:
+        """Cache entry died: return its charge, settle prefetch metrics.
+
+        A *consumed* entry's charge was already transferred to the
+        resident mapping when it was consumed, so only unconsumed
+        entries give memory back here.
+        """
+        if entry.consumed:
+            return
+        process = self._processes.get(entry.key[0])
+        if process is not None:
+            process.cgroup.uncharge(1)
+            process.cache_charged = max(0, process.cache_charged - 1)
+        if entry.page.prefetched:
+            self.metrics.record_evicted_unused(entry.key)
+
+    def _drop_own_cache_page(
+        self, process: ProcessMemory, now: int, include_inflight: bool = False
+    ) -> bool:
+        """Reclaim the oldest unconsumed cache entry of *process*.
+
+        Ready entries are preferred; with ``include_inflight`` an entry
+        whose read has not landed yet may be dropped too (the kernel
+        equivalent: the page is freed as soon as the I/O completes,
+        without ever serving a hit).
+        """
+        skipped: list = []
+        dropped = False
+        while process.cache_fifo:
+            key = process.cache_fifo.popleft()
+            entry = self.cache.lookup(key, now)
+            if entry is None or entry.consumed:
+                continue
+            if not entry.page.is_ready(now) and not include_inflight:
+                skipped.append(key)
+                continue
+            self.cache.drop(key, now)
+            dropped = True
+            break
+        # Preserve FIFO order of in-flight entries we stepped over.
+        for key in reversed(skipped):
+            process.cache_fifo.appendleft(key)
+        return dropped
+
+    #: Cache entries may hold at most this share of a cgroup's limit
+    #: before reclaim starts eating the cache instead of residency —
+    #: the swap cache cannot grow without bound in a real kernel, and
+    #: under memory pressure its share of a cgroup is small.
+    CACHE_SHARE_LIMIT = 0.08
+
+    def _reserve_cache_page(self, process: ProcessMemory, now: int) -> bool:
+        """Charge one cache page to *process*, reclaiming to make room.
+
+        This is the mechanism that makes over-aggressive prefetching
+        expensive (§2.3, Figure 9a's thrashing): cache pages and mapped
+        pages share the cgroup budget, so pollution steals residency
+        from the application — and once the cache's share passes
+        :data:`CACHE_SHARE_LIMIT`, a polluter starts churning its own
+        unconsumed prefetches, losing the coverage it paid for.
+        Returns False when no room can be made.
+        """
+        over_share = (
+            process.cache_charged + 1
+            > process.cgroup.limit_pages * self.CACHE_SHARE_LIMIT
+        )
+        if over_share and not self._drop_own_cache_page(process, now):
+            # The cache is over its share and entirely in flight:
+            # refuse further prefetching rather than strip residency.
+            return False
+        resident_floor = max(4, process.cgroup.limit_pages // 8)
+        while not process.cgroup.can_charge(1):
+            resident = (
+                process.resident_lru.inactive_count
+                + process.resident_lru.active_count
+            )
+            if resident > resident_floor:
+                self._evict_one(process, now)
+            elif not self._drop_own_cache_page(process, now):
+                return False
+        process.cgroup.charge(1)
+        process.cache_charged += 1
+        return True
+
+    def _evict_one(self, process: ProcessMemory, now: int) -> None:
+        victims = process.resident_lru.scan_inactive(1)
+        if not victims:
+            raise RuntimeError(
+                f"pid {process.pid}: cgroup full but no resident page to evict"
+            )
+        vpn, _ = victims[0]
+        entry = process.page_table.unmap_page(vpn)
+        process.cgroup.uncharge(1)
+        process.evictions += 1
+        key = (process.pid, vpn)
+        # Reclaiming the page also removes it from the swap cache (the
+        # kernel frees the cache reference with the page); a lingering
+        # consumed entry must not serve a phantom hit after eviction.
+        if key in self.cache:
+            self.cache.drop(key, now)
+        never_placed = self.data_path.backend.placement_of(key) is None
+        if entry.dirty or never_placed:
+            self.data_path.async_write(key, now, process.core)
+            process.writebacks += 1
+
+    def _map_page(self, process: ProcessMemory, vpn: int, now: int, dirty: bool) -> None:
+        while not process.cgroup.can_charge(1):
+            resident = (
+                process.resident_lru.inactive_count
+                + process.resident_lru.active_count
+            )
+            if resident:
+                self._evict_one(process, now)
+            elif not self._drop_own_cache_page(process, now, include_inflight=True):
+                raise RuntimeError(
+                    f"pid {process.pid}: cgroup full with nothing reclaimable"
+                )
+        process.cgroup.charge(1)
+        self._next_frame += 1
+        process.page_table.map_page(vpn, frame=self._next_frame, now=now, dirty=dirty)
+        process.resident_lru.add(vpn, None)
+
+    def _issue_prefetches(self, process: ProcessMemory, key: PageKey, now: int) -> None:
+        for candidate in self.prefetcher.candidates(key, now):
+            cpid, cvpn = candidate
+            target = self._processes.get(cpid)
+            if target is None:
+                continue
+            if not 0 <= cvpn < target.address_space_pages:
+                continue
+            if cvpn not in target.materialized:
+                continue  # no backing copy exists yet
+            if target.page_table.is_resident(cvpn):
+                continue
+            if candidate in self.cache:
+                continue
+            if not self._reserve_cache_page(target, now):
+                break  # genuine memory pressure: stop prefetching
+            arrival = self.data_path.async_read(candidate, now, process.core)
+            page = Page(key=candidate, arrival_time=arrival, issued_time=now)
+            page.set_flag(PageFlags.PREFETCHED)
+            self.cache.insert(page, now, prefetched=True)
+            target.cache_fifo.append(candidate)
+            self.metrics.record_issue(candidate, now, arrival)
+
+    def _record(self, outcome: AccessOutcome) -> AccessOutcome:
+        if self.recorder is not None and outcome.kind in FAULT_KINDS:
+            self.recorder.record(outcome.kind.value, outcome.latency_ns)
+        return outcome
+
+    # -- the fault path -------------------------------------------------------
+    def access(self, pid: int, vpn: int, now: int, is_write: bool = False) -> AccessOutcome:
+        """Serve one page access at simulated time *now*."""
+        process = self._processes[pid]
+        if not 0 <= vpn < process.address_space_pages:
+            raise ValueError(
+                f"pid {pid}: vpn {vpn} outside address space "
+                f"of {process.address_space_pages} pages"
+            )
+        self.reclaimer.maybe_scan(now)
+
+        if process.page_table.is_resident(vpn):
+            process.resident_lru.reference(vpn)
+            if is_write:
+                process.page_table.mark_dirty(vpn)
+            return AccessOutcome(AccessKind.RESIDENT, 0, (pid, vpn))
+
+        key = (pid, vpn)
+        if vpn not in process.materialized:
+            # First touch: zero-fill minor fault, no backing store.
+            latency = self.reclaimer.allocation_wait_ns(now)
+            self._map_page(process, vpn, now, dirty=True)
+            process.materialized.add(vpn)
+            self.metrics.record_minor_fault()
+            return self._record(AccessOutcome(AccessKind.MINOR_FAULT, latency, key))
+
+        self.metrics.record_fault()
+        entry = self.cache.lookup(key, now)
+        self.prefetcher.on_fault(key, now, cache_hit=entry is not None)
+
+        if entry is not None:
+            page = entry.page
+            was_prefetched = page.prefetched
+            if page.is_ready(now):
+                kind = AccessKind.CACHE_HIT
+                latency = self.data_path.cache_hit_ns()
+            else:
+                kind = AccessKind.CACHE_HIT_INFLIGHT
+                latency = CACHE_LOOKUP_NS + (page.arrival_time - now) + MAP_COST_NS
+            self.cache.consume(key, now)
+            # The entry's cache charge transfers to the resident mapping
+            # (_map_page re-charges); consumed entries never uncharge in
+            # the free callback, so this is the single hand-over point.
+            process.cgroup.uncharge(1)
+            process.cache_charged = max(0, process.cache_charged - 1)
+            self._map_page(process, vpn, now, dirty=is_write)
+            self.data_path.backend.release(key)
+            if was_prefetched:
+                self.prefetcher.on_prefetch_hit(key, now)
+                self.metrics.record_hit(key, now)
+            return self._record(
+                AccessOutcome(kind, latency, key, served_by_prefetch=was_prefetched)
+            )
+
+        # Full miss: block on the data path.
+        self.metrics.record_miss()
+        allocation_wait = self.reclaimer.allocation_wait_ns(now)
+        timing = self.data_path.demand_read(key, now, process.core)
+        latency = CACHE_LOOKUP_NS + allocation_wait + timing.total_ns
+        self._map_page(process, vpn, now, dirty=is_write)
+        self._issue_prefetches(process, key, now)
+        # Free the swap slot only after the prefetcher used its offset.
+        self.data_path.backend.release(key)
+        return self._record(AccessOutcome(AccessKind.MAJOR_FAULT, latency, key))

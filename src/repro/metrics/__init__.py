@@ -1,0 +1,15 @@
+"""Metrics: latency distributions and prefetch quality counters."""
+
+from repro.metrics.counters import PrefetchMetrics
+from repro.metrics.latency import LatencyRecorder, percentile, summarize
+from repro.metrics.report import format_cdf, format_table, ns_to_display
+
+__all__ = [
+    "LatencyRecorder",
+    "PrefetchMetrics",
+    "format_cdf",
+    "format_table",
+    "ns_to_display",
+    "percentile",
+    "summarize",
+]

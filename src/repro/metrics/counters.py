@@ -1,0 +1,117 @@
+"""Prefetch-quality accounting: accuracy, coverage, timeliness (§3.1).
+
+Definitions follow the paper exactly:
+
+* **Accuracy** — prefetched pages that were eventually consumed,
+  divided by all pages added to the cache via prefetching.
+* **Coverage** — faults served from prefetched pages, divided by all
+  page faults.
+* **Timeliness** — for each consumed prefetched page, the gap between
+  when it was prefetched and when it was first hit.  (Smaller is
+  better: a page that sits in cache for seconds before use wastes
+  cache space even though it was "accurate".)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.page import PageKey
+from repro.metrics.latency import summarize
+
+__all__ = ["PrefetchMetrics"]
+
+
+@dataclass
+class _IssueRecord:
+    issued_at: int
+    arrival_at: int
+
+
+@dataclass
+class PrefetchMetrics:
+    """Counters for one simulation run."""
+
+    faults: int = 0
+    minor_faults: int = 0
+    misses: int = 0
+    prefetch_issued: int = 0
+    prefetch_hits: int = 0
+    inflight_hits: int = 0
+    #: Hits on pages prefetched before this metrics window opened
+    #: (e.g. during warmup); excluded from accuracy/coverage so both
+    #: stay well-defined ratios over the measured window.
+    carryover_hits: int = 0
+    timeliness_ns: list[int] = field(default_factory=list)
+    _outstanding: dict[PageKey, _IssueRecord] = field(default_factory=dict)
+
+    # -- recording hooks ---------------------------------------------------
+    def record_fault(self) -> None:
+        self.faults += 1
+
+    def record_minor_fault(self) -> None:
+        self.minor_faults += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1
+
+    def record_issue(self, key: PageKey, issued_at: int, arrival_at: int) -> None:
+        self.prefetch_issued += 1
+        self._outstanding[key] = _IssueRecord(issued_at, arrival_at)
+
+    def record_hit(self, key: PageKey, now: int) -> None:
+        """A prefetched page was consumed for the first time."""
+        record = self._outstanding.pop(key, None)
+        if record is None:
+            self.carryover_hits += 1
+            return
+        self.prefetch_hits += 1
+        if now < record.arrival_at:
+            # Consumed while still in flight: the fault blocked for the
+            # remainder, so the effective gap runs to the arrival.
+            self.inflight_hits += 1
+            self.timeliness_ns.append(record.arrival_at - record.issued_at)
+        else:
+            self.timeliness_ns.append(now - record.issued_at)
+
+    def record_evicted_unused(self, key: PageKey) -> None:
+        """A prefetched page left the cache without ever being hit."""
+        self._outstanding.pop(key, None)
+
+    # -- derived metrics -----------------------------------------------------
+    @property
+    def accuracy(self) -> float:
+        """Prefetched-and-consumed over prefetched (0 when none issued)."""
+        if self.prefetch_issued == 0:
+            return 0.0
+        return self.prefetch_hits / self.prefetch_issued
+
+    @property
+    def coverage(self) -> float:
+        """Prefetch-served faults over all (major-path) faults."""
+        if self.faults == 0:
+            return 0.0
+        return self.prefetch_hits / self.faults
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.faults == 0:
+            return 0.0
+        return self.misses / self.faults
+
+    def timeliness_summary(self) -> dict[str, float]:
+        return summarize(self.timeliness_ns)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "faults": self.faults,
+            "minor_faults": self.minor_faults,
+            "misses": self.misses,
+            "prefetch_issued": self.prefetch_issued,
+            "prefetch_hits": self.prefetch_hits,
+            "inflight_hits": self.inflight_hits,
+            "carryover_hits": self.carryover_hits,
+            "accuracy": self.accuracy,
+            "coverage": self.coverage,
+            "miss_ratio": self.miss_ratio,
+        }

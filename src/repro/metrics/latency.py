@@ -1,0 +1,109 @@
+"""Latency recording, percentiles, and CDF extraction.
+
+The paper's evaluation leans almost entirely on latency distributions —
+median / 99th-percentile page access latencies (Figures 2, 7), CCDFs
+(Figure 8a), and CDFs of timeliness and eviction wait (Figures 4, 10b).
+:class:`LatencyRecorder` collects integer-nanosecond samples tagged
+with an access kind and reproduces those views.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+__all__ = ["LatencyRecorder", "percentile", "summarize"]
+
+
+def percentile(samples: Sequence[int], p: float) -> float:
+    """Linear-interpolated percentile of *samples* (p in [0, 100])."""
+    if not samples:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be within [0, 100], got {p}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(ordered[lower])
+    fraction = rank - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def summarize(samples: Sequence[int]) -> dict[str, float]:
+    """Common summary statistics used in the benchmark reports."""
+    if not samples:
+        return {"count": 0}
+    return {
+        "count": len(samples),
+        "mean": sum(samples) / len(samples),
+        "p50": percentile(samples, 50),
+        "p90": percentile(samples, 90),
+        "p95": percentile(samples, 95),
+        "p99": percentile(samples, 99),
+        "max": float(max(samples)),
+    }
+
+
+class LatencyRecorder:
+    """Collects latency samples grouped by access kind."""
+
+    def __init__(self) -> None:
+        self._samples: dict[str, list[int]] = defaultdict(list)
+
+    def record(self, kind: str, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"latency cannot be negative: {latency_ns}")
+        self._samples[kind].append(latency_ns)
+
+    def kinds(self) -> list[str]:
+        return sorted(self._samples)
+
+    def samples(self, kinds: Iterable[str] | None = None) -> list[int]:
+        """All samples across *kinds* (default: every kind)."""
+        if kinds is None:
+            kinds = self._samples.keys()
+        merged: list[int] = []
+        for kind in kinds:
+            merged.extend(self._samples.get(kind, []))
+        return merged
+
+    def count(self, kind: str) -> int:
+        return len(self._samples.get(kind, []))
+
+    def percentile(self, p: float, kinds: Iterable[str] | None = None) -> float:
+        return percentile(self.samples(kinds), p)
+
+    def summary(self, kinds: Iterable[str] | None = None) -> dict[str, float]:
+        return summarize(self.samples(kinds))
+
+    def cdf(
+        self, kinds: Iterable[str] | None = None, points: int = 200
+    ) -> list[tuple[float, float]]:
+        """(latency_ns, cumulative_fraction) pairs for plotting."""
+        ordered = sorted(self.samples(kinds))
+        if not ordered:
+            return []
+        n = len(ordered)
+        if n <= points:
+            return [(float(v), (i + 1) / n) for i, v in enumerate(ordered)]
+        step = n / points
+        result = []
+        for i in range(points):
+            index = min(n - 1, int(round((i + 1) * step)) - 1)
+            result.append((float(ordered[index]), (index + 1) / n))
+        return result
+
+    def ccdf(
+        self, kinds: Iterable[str] | None = None, points: int = 200
+    ) -> list[tuple[float, float]]:
+        """(latency_ns, fraction_above) pairs — Figure 8a's view."""
+        return [(value, 1.0 - frac) for value, frac in self.cdf(kinds, points)]
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        for kind, values in other._samples.items():
+            self._samples[kind].extend(values)

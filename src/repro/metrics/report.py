@@ -1,0 +1,60 @@
+"""Plain-text tables for benchmark output.
+
+The benchmark harness prints the same rows the paper's figures plot;
+this module renders them readably without pulling in any plotting
+dependency (the environment is offline).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_cdf", "ns_to_display"]
+
+
+def ns_to_display(value_ns: float) -> str:
+    """Human-friendly latency rendering (ns → ns/µs/ms/s)."""
+    if value_ns < 1_000:
+        return f"{value_ns:.0f}ns"
+    if value_ns < 1_000_000:
+        return f"{value_ns / 1_000:.2f}us"
+    if value_ns < 1_000_000_000:
+        return f"{value_ns / 1_000_000:.2f}ms"
+    return f"{value_ns / 1_000_000_000:.2f}s"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_cdf(
+    points: Sequence[tuple[float, float]],
+    label: str,
+    quantiles: Sequence[float] = (0.5, 0.9, 0.95, 0.99),
+) -> str:
+    """Summarize a CDF as its key quantiles (for terminal output)."""
+    if not points:
+        return f"{label}: (no samples)"
+    parts = []
+    for q in quantiles:
+        value = next((v for v, frac in points if frac >= q), points[-1][0])
+        parts.append(f"p{int(q * 100)}={ns_to_display(value)}")
+    return f"{label}: " + "  ".join(parts)

@@ -1,0 +1,17 @@
+"""Baseline prefetchers the paper compares against (§5.2.3)."""
+
+from repro.prefetchers.base import NoopPrefetcher, OffsetPrefetcher, Prefetcher
+from repro.prefetchers.ghb import GHBPrefetcher
+from repro.prefetchers.next_n_line import NextNLinePrefetcher
+from repro.prefetchers.readahead import ReadAheadPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+
+__all__ = [
+    "GHBPrefetcher",
+    "NextNLinePrefetcher",
+    "NoopPrefetcher",
+    "OffsetPrefetcher",
+    "Prefetcher",
+    "ReadAheadPrefetcher",
+    "StridePrefetcher",
+]

@@ -1,0 +1,100 @@
+"""Prefetcher interface.
+
+Prefetchers are consulted by the virtual memory manager on the fault
+path:
+
+* :meth:`Prefetcher.on_fault` is called for **every** page fault —
+  both faults served from the page cache and full misses — so the
+  prefetcher can observe the access stream.
+* :meth:`Prefetcher.candidates` is called only on a **full miss**
+  (mirroring ``swapin_readahead`` / ``do_prefetch``, which Linux only
+  reaches when the swap-cache lookup fails) and returns the page keys
+  to read asynchronously.
+* :meth:`Prefetcher.on_prefetch_hit` delivers the feedback loop: a page
+  this prefetcher brought in was consumed for the first time.
+
+Address spaces differ by design.  Leap tracks per-process *virtual*
+page numbers (§4.1); the kernel baselines operate on *backing-store
+offsets* of the shared swap area, which is why they can confuse
+interleaved processes (§2.3) — exactly the behaviour the paper
+exploits.  :class:`OffsetPrefetcher` provides the shared plumbing for
+the offset-space baselines.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.datapath.backends import IOBackend
+from repro.mem.page import PageKey
+
+__all__ = ["Prefetcher", "OffsetPrefetcher"]
+
+
+class Prefetcher(abc.ABC):
+    """Decides which pages to read ahead on a page-fault miss."""
+
+    name: str
+
+    @abc.abstractmethod
+    def on_fault(self, key: PageKey, now: int, cache_hit: bool) -> None:
+        """Observe one page fault (cache hit or full miss)."""
+
+    @abc.abstractmethod
+    def candidates(self, key: PageKey, now: int) -> list[PageKey]:
+        """Pages to prefetch after a full miss on *key*."""
+
+    def on_prefetch_hit(self, key: PageKey, now: int) -> None:
+        """Feedback: a page prefetched earlier was consumed."""
+
+    def reset(self) -> None:
+        """Drop learned state (used between warmup and measurement)."""
+
+
+class NoopPrefetcher(Prefetcher):
+    """Prefetches nothing; the pure demand-paging baseline."""
+
+    name = "none"
+
+    def on_fault(self, key: PageKey, now: int, cache_hit: bool) -> None:
+        pass
+
+    def candidates(self, key: PageKey, now: int) -> list[PageKey]:
+        return []
+
+
+class OffsetPrefetcher(Prefetcher):
+    """Base for prefetchers that think in backing-store offsets.
+
+    Subclasses implement :meth:`offset_candidates`; this class converts
+    the faulting page to its offset and candidate offsets back to the
+    pages that own them, dropping offsets that no page occupies.
+    """
+
+    def __init__(self, backend: IOBackend) -> None:
+        self._backend = backend
+
+    @abc.abstractmethod
+    def offset_candidates(self, offset: int, now: int) -> list[int]:
+        """Offsets to prefetch, given the faulting page's offset."""
+
+    def on_fault(self, key: PageKey, now: int, cache_hit: bool) -> None:
+        offset = self._backend.placement_of(key)
+        if offset is not None:
+            self.observe_offset(offset, now, cache_hit)
+
+    def observe_offset(self, offset: int, now: int, cache_hit: bool) -> None:
+        """Subclass hook for history upkeep; default keeps no history."""
+
+    def candidates(self, key: PageKey, now: int) -> list[PageKey]:
+        offset = self._backend.placement_of(key)
+        if offset is None:
+            # The page has never been evicted, so it has no neighbours
+            # in the backing store; the kernel baselines cannot act.
+            return []
+        found: list[PageKey] = []
+        for candidate in self.offset_candidates(offset, now):
+            owner = self._backend.key_at_offset(candidate)
+            if owner is not None and owner != key:
+                found.append(owner)  # type: ignore[arg-type]
+        return found

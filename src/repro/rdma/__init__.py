@@ -1,0 +1,19 @@
+"""RDMA substrate: fabric, dispatch queues, slabs, agents."""
+
+from repro.rdma.agent import HostAgent, RemoteAgent, RemotePageLostError
+from repro.rdma.network import RdmaFabric
+from repro.rdma.qp import DispatchQueue, QueueStats, Submission
+from repro.rdma.slab import PageLocation, Slab, SlabAllocator
+
+__all__ = [
+    "DispatchQueue",
+    "HostAgent",
+    "PageLocation",
+    "QueueStats",
+    "RdmaFabric",
+    "RemoteAgent",
+    "RemotePageLostError",
+    "Slab",
+    "SlabAllocator",
+    "Submission",
+]

@@ -1,0 +1,63 @@
+"""RDMA fabric latency model.
+
+Anchored to the paper's measurements on 56 Gbps InfiniBand: a 4 KB
+one-sided RDMA operation has a median end-to-end latency of 4.3 µs
+(Figure 1), of which only the wire occupancy (4 KB at 56 Gbps is about
+0.59 µs) serializes operations on a dispatch queue.  The rest —
+propagation, remote NIC processing, DMA — is pipelined.  Congestion
+therefore appears as queueing delay in :class:`repro.rdma.qp`, not as a
+change to this model.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import SimRandom
+from repro.sim.units import PAGE_SIZE, ns, us
+
+__all__ = ["RdmaFabric"]
+
+#: 56 Gbps InfiniBand FDR, as used in the paper's testbed.
+DEFAULT_BANDWIDTH_GBPS = 56.0
+
+
+class RdmaFabric:
+    """Latency source for one-sided RDMA reads and writes."""
+
+    def __init__(
+        self,
+        rng: SimRandom,
+        median_ns: int = us(4.3),
+        sigma: float = 0.18,
+        bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+        per_op_cpu_ns: int = ns(400),
+    ) -> None:
+        if median_ns <= 0:
+            raise ValueError(f"median_ns must be positive, got {median_ns}")
+        if bandwidth_gbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_gbps}")
+        self._rng = rng
+        self.median_ns = median_ns
+        self.sigma = sigma
+        self.bandwidth_gbps = bandwidth_gbps
+        self.per_op_cpu_ns = per_op_cpu_ns
+
+    def wire_time_ns(self, size_bytes: int = PAGE_SIZE) -> int:
+        """Serialization time of *size_bytes* on the wire."""
+        bits = size_bytes * 8
+        return int(round(bits / (self.bandwidth_gbps * 1e9) * 1e9))
+
+    def service_time_ns(self, size_bytes: int = PAGE_SIZE) -> int:
+        """Time an op occupies a dispatch queue (wire + per-op CPU)."""
+        return self.wire_time_ns(size_bytes) + self.per_op_cpu_ns
+
+    def fabric_latency_ns(self, size_bytes: int = PAGE_SIZE) -> int:
+        """Pipelined remainder of the end-to-end latency.
+
+        Drawn so that ``service + fabric`` has the configured 4.3 µs
+        median with a modest log-normal tail (RDMA is far more
+        predictable than disk, but not constant — §2.2 notes single-µs
+        latency is "often wishful thinking in practice").
+        """
+        service = self.service_time_ns(size_bytes)
+        remainder_median = max(1, self.median_ns - service)
+        return self._rng.lognormal_ns(remainder_median, self.sigma)

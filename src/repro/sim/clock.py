@@ -1,0 +1,57 @@
+"""Virtual time for the simulator.
+
+The simulation is trace driven rather than event driven: a process
+executes its page-access trace one access at a time and the clock only
+moves forward, by the latency of whatever the access cost plus any
+think time the workload specifies.  A single monotonically increasing
+integer is therefore all the machinery required, but wrapping it in a
+class gives every component (data paths, reclaim daemon, prefetch
+completion queues) one shared notion of "now".
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised when a caller tries to move the clock backwards."""
+
+
+class VirtualClock:
+    """A monotonically non-decreasing integer-nanosecond clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in integer nanoseconds."""
+        return self._now
+
+    def advance(self, delta: int) -> int:
+        """Move time forward by *delta* nanoseconds and return the new now.
+
+        ``delta`` must be non-negative; simulated work never takes
+        negative time.
+        """
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by negative delta {delta}")
+        self._now += int(delta)
+        return self._now
+
+    def advance_to(self, instant: int) -> int:
+        """Move time forward to *instant* if it is in the future.
+
+        Advancing to an instant already in the past is a no-op rather
+        than an error: a caller waiting on an asynchronous completion
+        that already happened simply does not wait.
+        """
+        if instant > self._now:
+            self._now = int(instant)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now})"

@@ -1,0 +1,216 @@
+"""Host machine assembly: configuration in, ready-to-run VMM out.
+
+A :class:`MachineConfig` picks one option per axis — data path, backing
+medium, prefetcher, eviction policy — exactly the axes the paper's
+evaluation varies:
+
+====================  =========================================
+Paper system           Config
+====================  =========================================
+Linux swap to disk     ``legacy`` path, ``hdd``/``ssd`` medium,
+                       ``readahead``, ``lazy`` eviction
+Infiniswap (D-VMM)     ``legacy``, ``remote``, ``readahead``, ``lazy``
+D-VMM + Leap           ``lean``, ``remote``, ``leap``, ``eager``
+Fig. 8a breakdown      ``lean`` with prefetcher/eviction toggled
+Fig. 8b / 9 / 10       ``legacy`` + disk with prefetcher swapped
+====================  =========================================
+
+Everything is seeded from ``config.seed`` through labelled RNG streams,
+so any configuration is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.tracker import IsolatedLeapTracker
+from repro.datapath.backends import DiskBackend, IOBackend, RemoteBackend
+from repro.datapath.base import DataPath
+from repro.datapath.block_layer import LegacyBlockPath
+from repro.datapath.lean_path import LeanLeapPath
+from repro.mem.page_cache import CacheStats, EagerFifoPolicy, LazyLRUPolicy, PageCache
+from repro.mem.reclaim import KswapdReclaimer
+from repro.mem.vmm import ProcessMemory, VirtualMemoryManager
+from repro.metrics.counters import PrefetchMetrics
+from repro.metrics.latency import LatencyRecorder
+from repro.prefetchers.base import NoopPrefetcher, Prefetcher
+from repro.prefetchers.next_n_line import NextNLinePrefetcher
+from repro.prefetchers.readahead import ReadAheadPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+from repro.rdma.agent import HostAgent, RemoteAgent
+from repro.rdma.network import RdmaFabric
+from repro.sim.rng import SimRandom
+from repro.sim.units import ms
+from repro.storage.backends import HDDMedium, SSDMedium
+
+__all__ = [
+    "MachineConfig",
+    "Machine",
+    "disk_config",
+    "infiniswap_config",
+    "leap_config",
+]
+
+DATA_PATHS = ("legacy", "lean")
+MEDIA = ("remote", "hdd", "ssd")
+PREFETCHERS = ("readahead", "stride", "next-n-line", "leap", "none")
+EVICTIONS = ("lazy", "eager")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full description of one simulated host."""
+
+    seed: int = 42
+    data_path: str = "legacy"
+    medium: str = "remote"
+    prefetcher: str = "readahead"
+    eviction: str = "lazy"
+    cache_capacity_pages: int | None = None
+    n_cores: int = 8
+    remote_machines: int = 4
+    remote_capacity_pages: int = 1 << 20
+    slab_pages: int = 4096
+    replication: bool = True
+    history_size: int = 32
+    n_split: int = 2
+    max_prefetch_window: int = 8
+    readahead_window: int = 8
+    next_n_lines: int = 8
+    stride_max_degree: int = 8
+    kswapd_period_ns: int = ms(50)
+    kswapd_batch: int = 64
+
+    def validate(self) -> None:
+        if self.data_path not in DATA_PATHS:
+            raise ValueError(f"unknown data path {self.data_path!r}")
+        if self.medium not in MEDIA:
+            raise ValueError(f"unknown medium {self.medium!r}")
+        if self.prefetcher not in PREFETCHERS:
+            raise ValueError(f"unknown prefetcher {self.prefetcher!r}")
+        if self.eviction not in EVICTIONS:
+            raise ValueError(f"unknown eviction policy {self.eviction!r}")
+
+    def with_overrides(self, **changes) -> "MachineConfig":
+        return replace(self, **changes)
+
+
+def disk_config(medium: str = "hdd", **overrides) -> MachineConfig:
+    """Linux paging to a local disk (the paper's `Disk` baseline)."""
+    return MachineConfig(
+        data_path="legacy", medium=medium, prefetcher="readahead", eviction="lazy"
+    ).with_overrides(**overrides)
+
+
+def infiniswap_config(**overrides) -> MachineConfig:
+    """Disaggregated VMM on the default kernel data path (D-VMM)."""
+    return MachineConfig(
+        data_path="legacy", medium="remote", prefetcher="readahead", eviction="lazy"
+    ).with_overrides(**overrides)
+
+
+def leap_config(**overrides) -> MachineConfig:
+    """Disaggregated VMM with the full Leap stack (D-VMM + Leap)."""
+    return MachineConfig(
+        data_path="lean", medium="remote", prefetcher="leap", eviction="eager"
+    ).with_overrides(**overrides)
+
+
+class Machine:
+    """A host machine built from a :class:`MachineConfig`."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        config.validate()
+        self.config = config
+        root = SimRandom(config.seed, "machine")
+        self.host_agent: HostAgent | None = None
+        self.backend = self._build_backend(config, root)
+        self.data_path = self._build_path(config, root)
+        policy = LazyLRUPolicy() if config.eviction == "lazy" else EagerFifoPolicy()
+        self.cache = PageCache(policy, capacity_pages=config.cache_capacity_pages)
+        self.reclaimer = KswapdReclaimer(
+            self.cache,
+            scan_period_ns=config.kswapd_period_ns,
+            scan_batch=config.kswapd_batch,
+        )
+        self.prefetcher = self._build_prefetcher(config)
+        self.metrics = PrefetchMetrics()
+        self.recorder = LatencyRecorder()
+        self.vmm = VirtualMemoryManager(
+            data_path=self.data_path,
+            cache=self.cache,
+            reclaimer=self.reclaimer,
+            prefetcher=self.prefetcher,
+            metrics=self.metrics,
+            recorder=self.recorder,
+        )
+        self._next_core = 0
+
+    # -- component factories -------------------------------------------------
+    def _build_backend(self, config: MachineConfig, root: SimRandom) -> IOBackend:
+        if config.medium == "remote":
+            fabric = RdmaFabric(root.spawn("fabric"))
+            agents = [
+                RemoteAgent(machine_id=i, capacity_pages=config.remote_capacity_pages)
+                for i in range(config.remote_machines)
+            ]
+            self.host_agent = HostAgent(
+                fabric,
+                agents,
+                root.spawn("placement"),
+                n_cores=config.n_cores,
+                slab_capacity_pages=config.slab_pages,
+                replication=config.replication,
+            )
+            return RemoteBackend(self.host_agent)
+        if config.medium == "hdd":
+            return DiskBackend(HDDMedium(root.spawn("hdd")))
+        if config.medium == "ssd":
+            return DiskBackend(SSDMedium(root.spawn("ssd")))
+        raise ValueError(f"unknown medium {config.medium!r}")
+
+    def _build_path(self, config: MachineConfig, root: SimRandom) -> DataPath:
+        rng = root.spawn("datapath")
+        if config.data_path == "legacy":
+            return LegacyBlockPath(self.backend, rng)
+        return LeanLeapPath(self.backend, rng)
+
+    def _build_prefetcher(self, config: MachineConfig) -> Prefetcher:
+        if config.prefetcher == "none":
+            return NoopPrefetcher()
+        if config.prefetcher == "leap":
+            return IsolatedLeapTracker(
+                history_size=config.history_size,
+                n_split=config.n_split,
+                max_window=config.max_prefetch_window,
+            )
+        if config.prefetcher == "readahead":
+            return ReadAheadPrefetcher(self.backend, max_window=config.readahead_window)
+        if config.prefetcher == "stride":
+            return StridePrefetcher(max_degree=config.stride_max_degree)
+        if config.prefetcher == "next-n-line":
+            return NextNLinePrefetcher(n_lines=config.next_n_lines)
+        raise ValueError(f"unknown prefetcher {config.prefetcher!r}")
+
+    # -- process management -------------------------------------------------
+    def add_process(self, pid: int, wss_pages: int, limit_pages: int) -> ProcessMemory:
+        """Register a process with *wss_pages* of address space and a
+        cgroup limit of *limit_pages* resident pages."""
+        core = self._next_core % self.config.n_cores
+        self._next_core += 1
+        return self.vmm.register_process(
+            pid,
+            limit_pages=limit_pages,
+            address_space_pages=wss_pages,
+            core=core,
+        )
+
+    # -- measurement management ------------------------------------------------
+    def reset_measurements(self) -> None:
+        """Fresh metrics after a warmup phase (state is kept, stats dropped)."""
+        self.metrics = PrefetchMetrics()
+        self.recorder = LatencyRecorder()
+        self.vmm.metrics = self.metrics
+        self.vmm.recorder = self.recorder
+        self.cache.stats = CacheStats()
+        self.prefetcher.reset()

@@ -1,0 +1,76 @@
+"""A simulated process executing a page-access trace.
+
+Each process owns a private :class:`VirtualClock`.  The driver advances
+it by the workload's *think time* (compute between memory touches) and
+by whatever latency the VMM charges for the access itself.  The
+scheduler in :mod:`repro.sim.run` interleaves processes by always
+stepping the one whose clock is furthest behind, which keeps shared
+infrastructure (dispatch queues, kswapd) seeing globally monotonic
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.mem.vmm import AccessKind, VirtualMemoryManager
+from repro.sim.clock import VirtualClock
+
+__all__ = ["PageAccess", "ProcessDriver"]
+
+
+@dataclass(frozen=True)
+class PageAccess:
+    """One memory touch: which page, read or write, compute before it."""
+
+    vpn: int
+    is_write: bool = False
+    think_ns: int = 0
+
+
+class ProcessDriver:
+    """Feeds one process's trace through the VMM."""
+
+    def __init__(
+        self,
+        pid: int,
+        trace: Iterator[PageAccess],
+        start_ns: int = 0,
+    ) -> None:
+        self.pid = pid
+        self._trace = iter(trace)
+        self.clock = VirtualClock(start_ns)
+        self.started_ns = start_ns
+        self.finished_ns: int | None = None
+        self.accesses = 0
+        self.kind_counts: dict[AccessKind, int] = {kind: 0 for kind in AccessKind}
+        self.total_fault_latency_ns = 0
+
+    @property
+    def done(self) -> bool:
+        return self.finished_ns is not None
+
+    @property
+    def completion_ns(self) -> int:
+        """Wall-clock (virtual) duration of the whole trace."""
+        if self.finished_ns is None:
+            raise RuntimeError(f"pid {self.pid} has not finished")
+        return self.finished_ns - self.started_ns
+
+    def step(self, vmm: VirtualMemoryManager) -> bool:
+        """Execute the next access; returns False when the trace ended."""
+        if self.done:
+            return False
+        access = next(self._trace, None)
+        if access is None:
+            self.finished_ns = self.clock.now
+            return False
+        self.clock.advance(access.think_ns)
+        outcome = vmm.access(self.pid, access.vpn, self.clock.now, access.is_write)
+        self.clock.advance(outcome.latency_ns)
+        self.accesses += 1
+        self.kind_counts[outcome.kind] += 1
+        if outcome.kind is not AccessKind.RESIDENT:
+            self.total_fault_latency_ns += outcome.latency_ns
+        return True

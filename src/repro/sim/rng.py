@@ -1,0 +1,124 @@
+"""Deterministic random number generation for the simulator.
+
+Every stochastic model in the reproduction (block-layer batching noise,
+disk seek jitter, Zipfian key popularity, TPC-C NURand, ...) draws from
+a :class:`SimRandom` seeded from a single experiment seed plus a stable
+string label.  Two properties follow:
+
+* runs are exactly reproducible given the experiment seed, and
+* adding a new consumer of randomness does not perturb the streams seen
+  by existing consumers (each label gets an independent stream), which
+  keeps benchmark results comparable across code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Sequence
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a child seed from *root_seed* and a stable *label*."""
+    digest = hashlib.sha256(f"{root_seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _zipf_cdf(n_items: int, skew: float) -> list[float]:
+    """Cumulative popularity of ``n_items`` ranks under a Zipf(skew) law."""
+    if n_items <= 0:
+        raise ValueError(f"need at least one item, got {n_items}")
+    weights = [1.0 / (rank**skew) for rank in range(1, n_items + 1)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cdf.append(acc)
+    cdf[-1] = 1.0
+    return cdf
+
+
+def _bisect_cdf(cdf: list[float], u: float) -> int:
+    """Index of the first CDF entry >= u (inverse-transform sampling)."""
+    lo, hi = 0, len(cdf) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cdf[mid] < u:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class SimRandom:
+    """A labelled, deterministic random stream.
+
+    Thin wrapper over :class:`random.Random` adding the distributions
+    the latency and workload models need (log-normal in nanoseconds,
+    Zipf via inverse-transform sampling with a cached CDF).
+    """
+
+    def __init__(self, root_seed: int, label: str) -> None:
+        self.label = label
+        self._rng = random.Random(derive_seed(root_seed, label))
+        self._zipf_tables: dict[tuple[int, float], list[float]] = {}
+
+    def spawn(self, sublabel: str) -> "SimRandom":
+        """Create an independent child stream."""
+        return SimRandom(self._rng.randrange(2**63), f"{self.label}/{sublabel}")
+
+    # -- primitive draws -------------------------------------------------
+    def random(self) -> float:
+        return self._rng.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Inclusive-range integer draw."""
+        return self._rng.randint(low, high)
+
+    def randrange(self, stop: int) -> int:
+        return self._rng.randrange(stop)
+
+    def choice(self, seq: Sequence):
+        return self._rng.choice(seq)
+
+    def sample(self, population: Sequence, k: int) -> list:
+        return self._rng.sample(population, k)
+
+    def shuffle(self, items: list) -> None:
+        self._rng.shuffle(items)
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def expovariate(self, rate: float) -> float:
+        return self._rng.expovariate(rate)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._rng.gauss(mu, sigma)
+
+    # -- latency-model draws ---------------------------------------------
+    def lognormal_ns(self, median_ns: int, sigma: float) -> int:
+        """Draw an integer-nanosecond latency from a log-normal.
+
+        Parameterized by the *median* (``exp(mu)``) because the paper
+        reports medians; ``sigma`` controls tail heaviness.  The result
+        is clamped to at least 1 ns so latencies are always positive.
+        """
+        if median_ns <= 0:
+            raise ValueError(f"median must be positive, got {median_ns}")
+        value = math.exp(math.log(median_ns) + sigma * self._rng.gauss(0.0, 1.0))
+        return max(1, int(round(value)))
+
+    def zipf(self, n_items: int, skew: float) -> int:
+        """Draw an item index in ``[0, n_items)`` with Zipfian popularity."""
+        key = (n_items, skew)
+        table = self._zipf_tables.get(key)
+        if table is None:
+            table = _zipf_cdf(n_items, skew)
+            self._zipf_tables[key] = table
+        return _bisect_cdf(table, self._rng.random())
+
+    def __repr__(self) -> str:
+        return f"SimRandom(label={self.label!r})"

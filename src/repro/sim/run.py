@@ -1,0 +1,134 @@
+"""Simulation driver: warmup, scheduling, and run results.
+
+``run_processes`` interleaves any number of process drivers by always
+stepping the one with the smallest local clock, so shared state (RDMA
+dispatch queues, the page cache, kswapd) observes globally monotonic
+time — this is what makes the four-applications-at-once experiment
+(Figure 13) meaningful rather than four serialized runs.
+
+``warmup_process`` performs the materialization pass: touching the
+whole working set once populates the page tables, pushes the overflow
+past the cgroup limit, and thereby lays pages out in the backing store
+in eviction order — the layout both Read-Ahead and the slab mapper
+depend on.  Measurements are normally reset after warmup.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.mem.vmm import AccessKind
+from repro.sim.machine import Machine
+from repro.sim.process import PageAccess, ProcessDriver
+from repro.sim.units import NS_PER_SEC, to_seconds
+
+__all__ = ["RunResult", "run_processes", "warmup_process", "sequential_touch"]
+
+
+@dataclass
+class ProcessSummary:
+    """Outcome of one process's trace."""
+
+    pid: int
+    accesses: int
+    completion_ns: int
+    kind_counts: dict[AccessKind, int]
+    total_fault_latency_ns: int
+
+    @property
+    def completion_seconds(self) -> float:
+        return to_seconds(self.completion_ns)
+
+    def throughput_per_second(self, total_ops: int) -> float:
+        """Operations per (virtual) second, for throughput workloads."""
+        if self.completion_ns <= 0:
+            return 0.0
+        return total_ops * NS_PER_SEC / self.completion_ns
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one run."""
+
+    machine: Machine
+    processes: dict[int, ProcessSummary]
+
+    @property
+    def recorder(self):
+        return self.machine.recorder
+
+    @property
+    def metrics(self):
+        return self.machine.metrics
+
+    @property
+    def cache_stats(self):
+        return self.machine.cache.stats
+
+    def completion_seconds(self, pid: int) -> float:
+        return self.processes[pid].completion_seconds
+
+    @property
+    def makespan_ns(self) -> int:
+        return max(summary.completion_ns for summary in self.processes.values())
+
+
+def sequential_touch(wss_pages: int, think_ns: int = 200) -> Iterator[PageAccess]:
+    """A one-pass sequential touch of every page (write, like loading)."""
+    for vpn in range(wss_pages):
+        yield PageAccess(vpn=vpn, is_write=True, think_ns=think_ns)
+
+
+def warmup_process(machine: Machine, pid: int, start_ns: int = 0) -> int:
+    """Materialize a process's working set; returns the finish time."""
+    process = machine.vmm.process(pid)
+    driver = ProcessDriver(
+        pid, sequential_touch(process.address_space_pages), start_ns=start_ns
+    )
+    while driver.step(machine.vmm):
+        pass
+    assert driver.finished_ns is not None
+    return driver.finished_ns
+
+
+def run_processes(
+    machine: Machine,
+    drivers: Iterable[ProcessDriver],
+    max_total_accesses: int | None = None,
+) -> RunResult:
+    """Run drivers to completion with min-clock interleaving.
+
+    ``max_total_accesses`` is a safety valve for open-ended traces: when
+    the budget is hit, every driver is marked finished at its current
+    clock, so completion times remain meaningful.
+    """
+    all_drivers = list(drivers)
+    heap: list[tuple[int, int, ProcessDriver]] = []
+    for index, driver in enumerate(all_drivers):
+        heapq.heappush(heap, (driver.clock.now, index, driver))
+    executed = 0
+    while heap:
+        _, index, driver = heapq.heappop(heap)
+        progressed = driver.step(machine.vmm)
+        if not progressed:
+            continue
+        executed += 1
+        if max_total_accesses is not None and executed >= max_total_accesses:
+            driver.finished_ns = driver.clock.now
+            for _, _, leftover in heap:
+                leftover.finished_ns = leftover.clock.now
+            break
+        heapq.heappush(heap, (driver.clock.now, index, driver))
+    summaries = {
+        driver.pid: ProcessSummary(
+            pid=driver.pid,
+            accesses=driver.accesses,
+            completion_ns=driver.completion_ns,
+            kind_counts=dict(driver.kind_counts),
+            total_fault_latency_ns=driver.total_fault_latency_ns,
+        )
+        for driver in all_drivers
+    }
+    return RunResult(machine=machine, processes=summaries)

@@ -1,0 +1,72 @@
+"""Time and size units used throughout the simulator.
+
+All simulated time is kept as *integer nanoseconds* so that arithmetic is
+exact and runs are bit-for-bit reproducible.  All sizes are kept in bytes.
+The helpers here exist so that call sites read like the paper
+(``us(4.3)`` for the 4.3 microsecond RDMA op, ``mb(320)`` for the 320 MB
+prefetch cache of Figure 12) instead of sprinkling magic powers of ten.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+#: Size of one page, matching the 4 KB pages used everywhere in the paper.
+PAGE_SIZE = 4096
+
+
+def ns(value: float) -> int:
+    """Return *value* nanoseconds as an integer tick count."""
+    return int(round(value))
+
+
+def us(value: float) -> int:
+    """Return *value* microseconds in integer nanoseconds."""
+    return int(round(value * NS_PER_US))
+
+
+def ms(value: float) -> int:
+    """Return *value* milliseconds in integer nanoseconds."""
+    return int(round(value * NS_PER_MS))
+
+
+def seconds(value: float) -> int:
+    """Return *value* seconds in integer nanoseconds."""
+    return int(round(value * NS_PER_SEC))
+
+
+def to_us(ticks: int) -> float:
+    """Convert integer nanoseconds to (float) microseconds."""
+    return ticks / NS_PER_US
+
+
+def to_ms(ticks: int) -> float:
+    """Convert integer nanoseconds to (float) milliseconds."""
+    return ticks / NS_PER_MS
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert integer nanoseconds to (float) seconds."""
+    return ticks / NS_PER_SEC
+
+
+def kb(value: float) -> int:
+    """Return *value* kilobytes (binary) in bytes."""
+    return int(round(value * 1024))
+
+
+def mb(value: float) -> int:
+    """Return *value* megabytes (binary) in bytes."""
+    return int(round(value * 1024 * 1024))
+
+
+def gb(value: float) -> int:
+    """Return *value* gigabytes (binary) in bytes."""
+    return int(round(value * 1024 * 1024 * 1024))
+
+
+def pages(n_bytes: int) -> int:
+    """Return the number of whole pages needed to hold *n_bytes*."""
+    return (n_bytes + PAGE_SIZE - 1) // PAGE_SIZE

@@ -1,0 +1,5 @@
+"""Disk media models (HDD / SSD) used by the paging baselines."""
+
+from repro.storage.backends import HDDMedium, MediumStats, SSDMedium, StorageMedium
+
+__all__ = ["HDDMedium", "MediumStats", "SSDMedium", "StorageMedium"]

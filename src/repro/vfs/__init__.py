@@ -1,0 +1,5 @@
+"""Disaggregated VFS (Remote Regions) substrate."""
+
+from repro.vfs.remote_regions import RemoteRegion, RemoteRegionFS
+
+__all__ = ["RemoteRegion", "RemoteRegionFS"]

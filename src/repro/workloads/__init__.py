@@ -1,0 +1,35 @@
+"""Synthetic workload traces standing in for the paper's applications."""
+
+from repro.workloads.base import Workload, materialize_trace
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.mixer import burst_interleave, weighted_choice
+from repro.workloads.numpy_matmul import NumpyMatmulWorkload
+from repro.workloads.patterns import (
+    RandomWorkload,
+    SequentialWorkload,
+    StrideWorkload,
+    ZipfianWorkload,
+)
+from repro.workloads.powergraph import PowerGraphWorkload
+from repro.workloads.segments import SegmentMixWorkload
+from repro.workloads.trace_io import RecordedWorkload, load_trace, save_trace
+from repro.workloads.voltdb import VoltDBWorkload
+
+__all__ = [
+    "MemcachedWorkload",
+    "NumpyMatmulWorkload",
+    "PowerGraphWorkload",
+    "RandomWorkload",
+    "RecordedWorkload",
+    "SegmentMixWorkload",
+    "SequentialWorkload",
+    "StrideWorkload",
+    "VoltDBWorkload",
+    "Workload",
+    "ZipfianWorkload",
+    "burst_interleave",
+    "load_trace",
+    "materialize_trace",
+    "save_trace",
+    "weighted_choice",
+]

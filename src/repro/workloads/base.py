@@ -1,0 +1,84 @@
+"""Workload interface and trace utilities.
+
+A workload is a reproducible generator of :class:`PageAccess` items
+over a working set of ``wss_pages`` virtual pages.  Workloads carry the
+metadata the benchmarks need: how many accesses they will emit, how
+many application-level *operations* those accesses represent (for the
+throughput figures), and the think time separating accesses (the
+compute/memory-touch ratio that turns fault latency into application
+slowdown).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.sim.process import PageAccess
+from repro.sim.rng import SimRandom
+
+__all__ = ["Workload", "materialize_trace"]
+
+
+class Workload(abc.ABC):
+    """A finite, reproducible page-access trace."""
+
+    name: str
+
+    def __init__(
+        self,
+        wss_pages: int,
+        total_accesses: int,
+        seed: int = 42,
+        think_ns: int = 1_000,
+        write_fraction: float = 0.0,
+    ) -> None:
+        if wss_pages <= 0:
+            raise ValueError(f"wss_pages must be positive, got {wss_pages}")
+        if total_accesses <= 0:
+            raise ValueError(f"total_accesses must be positive, got {total_accesses}")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError(f"write_fraction must be in [0, 1], got {write_fraction}")
+        self.wss_pages = wss_pages
+        self.total_accesses = total_accesses
+        self.seed = seed
+        self.think_ns = think_ns
+        self.write_fraction = write_fraction
+
+    #: Page accesses per application-level operation (1 = every access
+    #: is its own op); throughput workloads override this.
+    accesses_per_op: int = 1
+
+    @property
+    def total_ops(self) -> int:
+        return self.total_accesses // self.accesses_per_op
+
+    @abc.abstractmethod
+    def _vpn_stream(self, rng: SimRandom) -> Iterator[int]:
+        """Yield virtual page numbers (may be infinite; it is truncated)."""
+
+    def accesses(self) -> Iterator[PageAccess]:
+        """The trace: ``total_accesses`` of :class:`PageAccess`."""
+        rng = SimRandom(self.seed, f"workload/{self.name}")
+        write_rng = rng.spawn("writes")
+        emitted = 0
+        for vpn in self._vpn_stream(rng.spawn("vpns")):
+            if emitted >= self.total_accesses:
+                return
+            clamped = vpn % self.wss_pages
+            is_write = (
+                self.write_fraction > 0.0
+                and write_rng.random() < self.write_fraction
+            )
+            yield PageAccess(vpn=clamped, is_write=is_write, think_ns=self.think_ns)
+            emitted += 1
+        if emitted < self.total_accesses:
+            raise RuntimeError(
+                f"workload {self.name} exhausted after {emitted} accesses, "
+                f"expected {self.total_accesses}"
+            )
+
+
+def materialize_trace(workload: Workload) -> list[PageAccess]:
+    """Fully expand a workload (for analysis such as Figure 3)."""
+    return list(workload.accesses())

@@ -1,0 +1,55 @@
+"""Memcached-like trace: Facebook ETC key-value workload (§5.3.4).
+
+The paper replays Facebook's ETC workload against Memcached and finds
+an almost entirely random remote access pattern — Leap "can detect
+96.4% of the irregularity" (§2.3) and responds by *not prefetching*,
+which is itself the win: fewer wasted remote reads, no cache
+pollution, and an uncongested RDMA queue let Memcached track local
+memory throughput at the 50% limit while the default path loses 10%.
+
+Keys follow the ETC population's Zipfian popularity; the hash table
+scatters them across the address space, so popularity never implies
+adjacency.  A small sequential component models slab page allocation
+and the LRU crawler.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.segments import SegmentMixWorkload
+
+__all__ = ["MemcachedWorkload"]
+
+
+class MemcachedWorkload(SegmentMixWorkload):
+    """Key-value cache (Memcached + Facebook ETC): ~96% irregular."""
+
+    name = "memcached"
+
+    #: A GET/SET touches the hash bucket page and the item page.
+    accesses_per_op = 2
+
+    def __init__(
+        self,
+        wss_pages: int = 24_576,
+        total_accesses: int = 200_000,
+        seed: int = 42,
+        think_ns: int = 4_000,
+        interleave: int = 4,
+    ) -> None:
+        super().__init__(
+            wss_pages,
+            total_accesses,
+            sequential_weight=0.04,
+            stride_weight=0.0,
+            irregular_weight=0.96,
+            seq_run_pages=(8, 32),
+            strides=(2,),
+            stride_run_steps=(4, 8),
+            irregular_run_steps=(2, 8),
+            irregular_skew=1.5,
+            interleave=interleave,
+            burst=(2, 8),
+            seed=seed,
+            think_ns=think_ns,
+            write_fraction=0.30,
+        )

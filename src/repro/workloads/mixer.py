@@ -1,0 +1,55 @@
+"""Stream mixing utilities.
+
+Real applications fault from many threads at once, so the kernel sees
+an *interleaving* of per-thread patterns — the paper's central reason
+why strict consecutive-pattern detectors break (§2.3: "An application
+can also have multiple, inter-leaved stride patterns — for example,
+due to multiple concurrent threads").  Threads do not alternate
+perfectly, though; they run in bursts between scheduling points.
+:func:`burst_interleave` reproduces that: it picks a stream, lets it
+emit a burst, then switches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.sim.rng import SimRandom
+
+__all__ = ["burst_interleave", "weighted_choice"]
+
+
+def weighted_choice(rng: SimRandom, weights: Sequence[tuple[str, float]]) -> str:
+    """Pick a label proportionally to its weight."""
+    total = sum(weight for _, weight in weights)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    pick = rng.random() * total
+    acc = 0.0
+    for label, weight in weights:
+        acc += weight
+        if pick < acc:
+            return label
+    return weights[-1][0]
+
+
+def burst_interleave(
+    streams: Sequence[Iterator[int]],
+    rng: SimRandom,
+    burst_min: int = 4,
+    burst_max: int = 16,
+) -> Iterator[int]:
+    """Interleave infinite *streams* in random bursts.
+
+    Each turn draws a stream uniformly and a burst length uniformly in
+    ``[burst_min, burst_max]``.  With one stream this degenerates to a
+    passthrough.
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    if not 1 <= burst_min <= burst_max:
+        raise ValueError(f"need 1 <= burst_min <= burst_max, got {burst_min}, {burst_max}")
+    while True:
+        stream = streams[rng.randrange(len(streams))]
+        for _ in range(rng.randint(burst_min, burst_max)):
+            yield next(stream)

@@ -1,0 +1,119 @@
+"""Primitive access patterns: the §2 microbenchmarks and building blocks.
+
+``SequentialWorkload`` and ``StrideWorkload`` are the two
+microbenchmarks of Figures 2 and 7 (sequential scan; stride of 10
+pages).  ``RandomWorkload`` and ``ZipfianWorkload`` are the irregular
+building blocks used by the application traces.  ``PatternSegment``
+generators are reused by the composite application workloads in this
+package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.rng import SimRandom
+from repro.workloads.base import Workload
+
+__all__ = [
+    "SequentialWorkload",
+    "StrideWorkload",
+    "RandomWorkload",
+    "ZipfianWorkload",
+    "sequential_run",
+    "stride_run",
+    "random_run",
+]
+
+
+def sequential_run(start: int, length: int) -> Iterator[int]:
+    """``length`` consecutive pages starting at ``start``."""
+    for step in range(length):
+        yield start + step
+
+
+def stride_run(start: int, stride: int, count: int) -> Iterator[int]:
+    """``count`` pages spaced ``stride`` apart from ``start``."""
+    for step in range(count):
+        yield start + step * stride
+
+
+def random_run(rng: SimRandom, space: int, count: int) -> Iterator[int]:
+    """``count`` uniform-random pages within ``[0, space)``."""
+    for _ in range(count):
+        yield rng.randrange(space)
+
+
+class SequentialWorkload(Workload):
+    """Scan the working set front to back, repeatedly."""
+
+    name = "sequential"
+
+    def _vpn_stream(self, rng: SimRandom) -> Iterator[int]:
+        while True:
+            yield from sequential_run(0, self.wss_pages)
+
+
+class StrideWorkload(Workload):
+    """Walk the working set with a fixed page stride (default 10).
+
+    Mirrors the paper's Stride-10 microbenchmark: sweep the region in
+    strides of ``stride`` pages, then restart one page over, so that
+    *every* page is eventually touched but consecutive accesses are
+    never adjacent.  With memory for only half the region, each page is
+    evicted long before its next visit, so under sequential-only
+    readahead every access misses (the Figure 2b cliff) — while the
+    trace remains perfectly predictable for a stride-aware detector.
+    """
+
+    name = "stride"
+
+    def __init__(self, wss_pages: int, total_accesses: int, stride: int = 10, **kwargs) -> None:
+        super().__init__(wss_pages, total_accesses, **kwargs)
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        self.stride = stride
+        self.name = f"stride-{stride}"
+
+    def _vpn_stream(self, rng: SimRandom) -> Iterator[int]:
+        phase = 0
+        position = 0
+        while True:
+            yield position
+            position += self.stride
+            if position >= self.wss_pages:
+                phase = (phase + 1) % self.stride
+                position = phase
+
+
+class RandomWorkload(Workload):
+    """Uniform-random page access: the unpredictable extreme."""
+
+    name = "random"
+
+    def _vpn_stream(self, rng: SimRandom) -> Iterator[int]:
+        while True:
+            yield rng.randrange(self.wss_pages)
+
+
+class ZipfianWorkload(Workload):
+    """Skewed random access (hot pages exist, but no spatial pattern)."""
+
+    name = "zipfian"
+
+    def __init__(
+        self, wss_pages: int, total_accesses: int, skew: float = 0.99, **kwargs
+    ) -> None:
+        super().__init__(wss_pages, total_accesses, **kwargs)
+        if skew <= 0:
+            raise ValueError(f"skew must be positive, got {skew}")
+        self.skew = skew
+
+    def _vpn_stream(self, rng: SimRandom) -> Iterator[int]:
+        # Scatter ranks across the address space so popularity does not
+        # correlate with address adjacency.
+        scatter = list(range(self.wss_pages))
+        rng.spawn("scatter").shuffle(scatter)
+        draw = rng.spawn("zipf")
+        while True:
+            yield scatter[draw.zipf(self.wss_pages, self.skew)]

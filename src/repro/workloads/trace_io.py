@@ -1,0 +1,114 @@
+"""Trace persistence: record and replay page-access traces.
+
+Real reproduction work often wants to freeze a trace — to diff two
+prefetchers on *exactly* the same fault stream, to ship a regression
+trace with a bug report, or to import an externally captured access
+log.  Traces serialize to a line-oriented text format::
+
+    # repro-trace v1
+    # wss_pages=4096 think_ns=1000
+    vpn[,w]
+
+One access per line; a trailing ``,w`` marks a write.  The format is
+deliberately trivial so external tools (awk, pandas) can produce it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.sim.process import PageAccess
+from repro.workloads.base import Workload
+
+__all__ = ["save_trace", "load_trace", "RecordedWorkload"]
+
+_HEADER = "# repro-trace v1"
+
+
+def save_trace(
+    path: str | Path,
+    accesses: Iterable[PageAccess],
+    wss_pages: int,
+    think_ns: int = 0,
+) -> int:
+    """Write a trace file; returns the number of accesses written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"{_HEADER}\n")
+        handle.write(f"# wss_pages={wss_pages} think_ns={think_ns}\n")
+        for access in accesses:
+            suffix = ",w" if access.is_write else ""
+            handle.write(f"{access.vpn}{suffix}\n")
+            count += 1
+    return count
+
+
+def _parse_metadata(line: str) -> dict[str, int]:
+    fields = {}
+    for token in line.lstrip("# ").split():
+        name, _, value = token.partition("=")
+        fields[name] = int(value)
+    return fields
+
+
+def load_trace(path: str | Path) -> "RecordedWorkload":
+    """Load a trace file into a replayable workload."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if header != _HEADER:
+            raise ValueError(f"{path}: not a repro trace (header {header!r})")
+        metadata = _parse_metadata(handle.readline())
+        accesses: list[PageAccess] = []
+        think_ns = metadata.get("think_ns", 0)
+        for line_number, line in enumerate(handle, start=3):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            vpn_text, _, flag = line.partition(",")
+            try:
+                vpn = int(vpn_text)
+            except ValueError as error:
+                raise ValueError(f"{path}:{line_number}: bad vpn {vpn_text!r}") from error
+            accesses.append(
+                PageAccess(vpn=vpn, is_write=(flag == "w"), think_ns=think_ns)
+            )
+    if not accesses:
+        raise ValueError(f"{path}: trace holds no accesses")
+    return RecordedWorkload(
+        accesses_list=accesses,
+        wss_pages=metadata["wss_pages"],
+        think_ns=think_ns,
+    )
+
+
+class RecordedWorkload(Workload):
+    """A workload that replays a fixed, previously recorded trace."""
+
+    name = "recorded"
+
+    def __init__(
+        self,
+        accesses_list: list[PageAccess],
+        wss_pages: int,
+        think_ns: int = 0,
+    ) -> None:
+        super().__init__(
+            wss_pages=wss_pages,
+            total_accesses=len(accesses_list),
+            think_ns=think_ns,
+        )
+        for access in accesses_list:
+            if not 0 <= access.vpn < wss_pages:
+                raise ValueError(
+                    f"trace access vpn {access.vpn} outside wss {wss_pages}"
+                )
+        self._accesses = accesses_list
+
+    def _vpn_stream(self, rng) -> Iterator[int]:  # pragma: no cover - unused
+        raise NotImplementedError("RecordedWorkload overrides accesses()")
+
+    def accesses(self) -> Iterator[PageAccess]:
+        return iter(self._accesses)

@@ -1,0 +1,129 @@
+"""Tests for the AccessHistory ring buffer (repro.core.access_history)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.access_history import AccessHistory
+
+
+class TestBasics:
+    def test_empty_history(self):
+        history = AccessHistory(8)
+        assert len(history) == 0
+        assert history.window(4) == []
+        assert history.last_address is None
+
+    def test_capacity_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            AccessHistory(1)
+
+    def test_first_access_records_zero_delta(self):
+        # §4.1: faults at 0x2, 0x5, 0x4, 0x6, 0x1, 0x9 store
+        # 0, +3, -1, +2, -5, +8.
+        history = AccessHistory(8)
+        deltas = [history.record_access(a) for a in [0x2, 0x5, 0x4, 0x6, 0x1, 0x9]]
+        assert deltas == [0, 3, -1, 2, -5, 8]
+
+    def test_window_newest_first(self):
+        history = AccessHistory(8)
+        for address in [0x2, 0x5, 0x4, 0x6]:
+            history.record_access(address)
+        assert history.window(3) == [2, -1, 3]
+
+    def test_window_larger_than_count_returns_all(self):
+        history = AccessHistory(8)
+        history.record_access(10)
+        history.record_access(12)
+        assert history.window(100) == [2, 0]
+
+    def test_window_zero_or_negative_is_empty(self):
+        history = AccessHistory(8)
+        history.record_access(1)
+        assert history.window(0) == []
+        assert history.window(-1) == []
+
+    def test_clear_resets_everything(self):
+        history = AccessHistory(4)
+        for address in range(10):
+            history.record_access(address)
+        history.clear()
+        assert len(history) == 0
+        assert history.last_address is None
+        assert history.window(4) == []
+
+
+class TestWraparound:
+    def test_count_saturates_at_capacity(self):
+        history = AccessHistory(4)
+        for address in range(10):
+            history.record_access(address)
+        assert len(history) == 4
+
+    def test_oldest_entries_overwritten(self):
+        history = AccessHistory(4)
+        history.push_delta(1)
+        history.push_delta(2)
+        history.push_delta(3)
+        history.push_delta(4)
+        history.push_delta(5)  # overwrites the 1
+        assert history.window(4) == [5, 4, 3, 2]
+
+    def test_paper_figure5_rollover(self):
+        """Reproduce the Figure 5 walkthrough, including the t8 rollover."""
+        addresses = [
+            0x48, 0x45, 0x42, 0x3F, 0x3C, 0x02, 0x04, 0x06,
+            0x08, 0x0A, 0x0C, 0x10, 0x39, 0x12, 0x14, 0x16,
+        ]
+        history = AccessHistory(8)
+        for address in addresses[:8]:  # through t7
+            history.record_access(address)
+        # Figure 5b: deltas at t0..t7 are 0(+72 in paper's running
+        # stream), -3, -3, -3, -3, -58, +2, +2 — newest first here.
+        assert history.window(8) == [2, 2, -58, -3, -3, -3, -3, 0]
+        history.record_access(addresses[8])  # t8 rolls over onto t0's slot
+        assert history.window(4) == [2, 2, 2, -58]
+        for address in addresses[9:]:
+            history.record_access(address)
+        # Figure 5d: at t15 the window t8–t15 holds five +2s — exactly
+        # the ⌊8/2⌋+1 majority — alongside the +4 (0x0C→0x10) and the
+        # two irregular jumps at t12/t13.
+        window = history.window(8)
+        assert window.count(2) == 5
+        assert len(window) == 8
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    def test_deltas_reconstruct_addresses(self, addresses):
+        """Within capacity, stored deltas recover the address stream."""
+        history = AccessHistory(512)
+        for address in addresses:
+            history.record_access(address)
+        deltas = history.window(len(addresses))  # newest first
+        reconstructed = [addresses[-1]]
+        for delta in deltas[:-1]:
+            reconstructed.append(reconstructed[-1] - delta)
+        assert reconstructed == list(reversed(addresses))
+
+    @given(
+        st.integers(2, 64),
+        st.lists(st.integers(-1000, 1000), min_size=0, max_size=200),
+    )
+    def test_window_matches_list_model(self, capacity, deltas):
+        """The ring behaves exactly like a bounded list."""
+        history = AccessHistory(capacity)
+        model: list[int] = []
+        for delta in deltas:
+            history.push_delta(delta)
+            model.append(delta)
+        expected = list(reversed(model[-capacity:]))
+        assert history.window(capacity) == expected
+        assert len(history) == min(capacity, len(model))
+
+    @given(st.integers(2, 32), st.lists(st.integers(), max_size=100))
+    def test_count_never_exceeds_capacity(self, capacity, deltas):
+        history = AccessHistory(capacity)
+        for delta in deltas:
+            history.push_delta(delta)
+            assert len(history) <= capacity

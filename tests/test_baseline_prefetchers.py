@@ -1,0 +1,151 @@
+"""Tests for the baseline prefetchers (Next-N-Line, Stride, Read-Ahead)."""
+
+from repro.datapath.backends import DiskBackend
+from repro.prefetchers.base import NoopPrefetcher
+from repro.prefetchers.next_n_line import NextNLinePrefetcher
+from repro.prefetchers.readahead import ReadAheadPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+from repro.sim.rng import SimRandom
+from repro.storage.backends import HDDMedium
+
+PID = 1
+
+
+class TestNoop:
+    def test_never_prefetches(self):
+        prefetcher = NoopPrefetcher()
+        prefetcher.on_fault((PID, 1), 0, False)
+        assert prefetcher.candidates((PID, 1), 0) == []
+
+
+class TestNextNLine:
+    def test_always_next_n(self):
+        prefetcher = NextNLinePrefetcher(n_lines=4)
+        assert prefetcher.candidates((PID, 10), 0) == [
+            (PID, 11), (PID, 12), (PID, 13), (PID, 14)
+        ]
+
+    def test_no_adaptivity_on_random(self):
+        prefetcher = NextNLinePrefetcher(n_lines=8)
+        # Even a wildly irregular stream gets the full flood.
+        for vpn in (5, 900, 3, 77_000):
+            prefetcher.on_fault((PID, vpn), 0, False)
+            assert len(prefetcher.candidates((PID, vpn), 0)) == 8
+
+
+class TestStride:
+    def test_needs_confidence_before_firing(self):
+        prefetcher = StridePrefetcher(min_confidence=2)
+        prefetcher.on_fault((PID, 0), 0, False)
+        assert prefetcher.candidates((PID, 0), 0) == []
+        prefetcher.on_fault((PID, 5), 0, False)
+        assert prefetcher.candidates((PID, 5), 0) == []  # confidence 1
+        prefetcher.on_fault((PID, 10), 0, False)
+        candidates = prefetcher.candidates((PID, 10), 0)
+        assert candidates and candidates[0] == (PID, 15)
+
+    def test_stride_change_resets(self):
+        prefetcher = StridePrefetcher(min_confidence=2)
+        for vpn in (0, 5, 10, 15):
+            prefetcher.on_fault((PID, vpn), 0, False)
+        assert prefetcher.candidates((PID, 15), 0)
+        prefetcher.on_fault((PID, 100), 0, False)  # breaks the stride
+        assert prefetcher.candidates((PID, 100), 0) == []
+
+    def test_pid_switch_resets(self):
+        """A pid-blind hardware detector loses training across processes."""
+        prefetcher = StridePrefetcher(min_confidence=2)
+        for vpn in (0, 5, 10):
+            prefetcher.on_fault((PID, vpn), 0, False)
+        prefetcher.on_fault((PID + 1, 500), 0, False)
+        assert prefetcher.candidates((PID + 1, 500), 0) == []
+
+    def test_degree_grows_with_accuracy(self):
+        prefetcher = StridePrefetcher(min_confidence=1, max_degree=8)
+        degree_seen = []
+        for step in range(3, 40):
+            vpn = step * 5
+            prefetcher.on_fault((PID, vpn), 0, False)
+            candidates = prefetcher.candidates((PID, vpn), 0)
+            degree_seen.append(len(candidates))
+            for candidate in candidates:
+                prefetcher.on_prefetch_hit(candidate, 0)
+        assert max(degree_seen) == 8
+        assert degree_seen[0] < 8
+
+    def test_degree_shrinks_without_hits(self):
+        prefetcher = StridePrefetcher(min_confidence=1, max_degree=8)
+        sizes = []
+        for step in range(2, 30):
+            vpn = step * 5
+            prefetcher.on_fault((PID, vpn), 0, False)
+            sizes.append(len(prefetcher.candidates((PID, vpn), 0)))
+        assert sizes[-1] <= 1
+
+    def test_candidates_never_negative(self):
+        prefetcher = StridePrefetcher(min_confidence=1)
+        for vpn in (20, 15, 10, 5):
+            prefetcher.on_fault((PID, vpn), 0, False)
+        for _, vpn in prefetcher.candidates((PID, 5), 0):
+            assert vpn >= 0
+
+
+def make_backend_with_layout(n_pages=64):
+    """A disk backend whose slots 0..n-1 hold pages (PID, 0..n-1)."""
+    backend = DiskBackend(HDDMedium(SimRandom(1, "hdd")))
+    for vpn in range(n_pages):
+        backend.swap_map.assign((PID, vpn))
+    return backend
+
+
+class TestReadAhead:
+    def test_two_consecutive_offsets_open_window(self):
+        backend = make_backend_with_layout()
+        prefetcher = ReadAheadPrefetcher(backend, max_window=8)
+        prefetcher.on_fault((PID, 16), 0, False)
+        prefetcher.on_fault((PID, 17), 0, False)
+        candidates = prefetcher.candidates((PID, 17), 0)
+        # The aligned 8-block containing offset 17 is 16..23, minus the
+        # faulting page itself.
+        expected = [(PID, v) for v in range(16, 24) if v != 17]
+        assert candidates == expected
+
+    def test_stride_pattern_starves_readahead(self):
+        """The Figure 2b failure mode: stride-10 never looks sequential."""
+        backend = make_backend_with_layout(256)
+        prefetcher = ReadAheadPrefetcher(backend, max_window=8)
+        issued = []
+        for vpn in range(0, 250, 10):
+            prefetcher.on_fault((PID, vpn), 0, False)
+            issued.append(prefetcher.candidates((PID, vpn), 0))
+        assert issued[-1] == [], "window must collapse on stride access"
+
+    def test_hits_sustain_window_without_sequentiality(self):
+        backend = make_backend_with_layout(256)
+        prefetcher = ReadAheadPrefetcher(backend, max_window=8)
+        prefetcher.on_fault((PID, 8), 0, False)
+        prefetcher.on_fault((PID, 9), 0, False)
+        first = prefetcher.candidates((PID, 9), 0)
+        assert first
+        prefetcher.on_prefetch_hit(first[0], 0)
+        # Next fault is not consecutive, but last block had hits.
+        prefetcher.on_fault((PID, 40), 0, False)
+        assert prefetcher.candidates((PID, 40), 0) != []
+
+    def test_unplaced_page_yields_nothing(self):
+        backend = DiskBackend(HDDMedium(SimRandom(1, "hdd")))
+        prefetcher = ReadAheadPrefetcher(backend, max_window=8)
+        prefetcher.on_fault((PID, 5), 0, False)
+        assert prefetcher.candidates((PID, 5), 0) == []
+
+    def test_reset(self):
+        backend = make_backend_with_layout()
+        prefetcher = ReadAheadPrefetcher(backend, max_window=8)
+        prefetcher.on_fault((PID, 1), 0, False)
+        prefetcher.on_fault((PID, 2), 0, False)
+        prefetcher.reset()
+        prefetcher.on_fault((PID, 30), 0, False)
+        # One fault after reset: no two-fault history yet, no hits, so
+        # the window halves from its max but can still issue.
+        first_round = prefetcher.candidates((PID, 30), 0)
+        assert isinstance(first_round, list)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, WORKLOADS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "stride"])
+        assert args.workload == "stride"
+        assert args.memory == 0.5
+        assert args.seed == 42
+
+    def test_run_system_choice(self):
+        args = build_parser().parse_args(["run", "random", "--system", "d-vmm"])
+        assert args.system == "d-vmm"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "sap-hana"])
+
+
+class TestCommands:
+    def test_figures_lists_all(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for fig_id, _, _ in FIGURES:
+            assert fig_id in out
+
+    def test_run_small(self, capsys):
+        code = main(
+            ["run", "stride", "--wss-pages", "512", "--accesses", "2000",
+             "--system", "leap"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "leap" in out
+        assert "coverage" in out
+
+    def test_compare_small(self, capsys):
+        code = main(
+            ["compare", "stride", "--wss-pages", "512", "--accesses", "2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "d-vmm+leap" in out
+        assert "improvement" in out
+
+    def test_every_workload_constructs(self):
+        parser = build_parser()
+        for name in WORKLOADS:
+            args = parser.parse_args(
+                ["run", name, "--wss-pages", "256", "--accesses", "100"]
+            )
+            assert args.workload == name

@@ -1,0 +1,157 @@
+"""Tests for data paths, backends, stages, and swap slots."""
+
+import pytest
+
+from repro.datapath.backends import DiskBackend, RemoteBackend
+from repro.datapath.block_layer import LegacyBlockPath
+from repro.datapath.lean_path import LeanLeapPath
+from repro.datapath.stages import default_lean_stages, default_legacy_stages
+from repro.datapath.swap import SwapSlotAllocator
+from repro.rdma.agent import HostAgent, RemoteAgent
+from repro.rdma.network import RdmaFabric
+from repro.sim.rng import SimRandom
+from repro.sim.units import us
+from repro.storage.backends import HDDMedium
+
+
+def make_disk_backend(seed=1):
+    return DiskBackend(HDDMedium(SimRandom(seed, "hdd")))
+
+
+def make_remote_backend(seed=1):
+    rng = SimRandom(seed, "remote")
+    fabric = RdmaFabric(rng.spawn("fabric"))
+    agents = [RemoteAgent(i, 100_000) for i in range(2)]
+    host = HostAgent(fabric, agents, rng.spawn("place"), replication=True)
+    return RemoteBackend(host)
+
+
+class TestSwapSlotAllocator:
+    def test_assign_sequential(self):
+        swap = SwapSlotAllocator()
+        assert [swap.assign(k) for k in "abc"] == [0, 1, 2]
+
+    def test_assign_idempotent(self):
+        swap = SwapSlotAllocator()
+        assert swap.assign("a") == swap.assign("a")
+        assert len(swap) == 1
+
+    def test_release_and_reuse(self):
+        swap = SwapSlotAllocator()
+        swap.assign("a")
+        swap.release("a")
+        assert swap.slot_of("a") is None
+        assert swap.assign("b") == 0  # freed slot reused
+
+    def test_release_absent_is_noop(self):
+        swap = SwapSlotAllocator()
+        swap.release("ghost")
+
+    def test_reassign_at_frontier(self):
+        swap = SwapSlotAllocator()
+        swap.assign("a")
+        swap.assign("b")
+        slot = swap.reassign_at_frontier("a")
+        assert slot == 2
+        assert swap.key_at(0) is None
+        assert swap.key_at(2) == "a"
+
+    def test_neighbours(self):
+        swap = SwapSlotAllocator()
+        for key in "abcde":
+            swap.assign(key)
+        assert swap.neighbours("c", before=1, after=1) == ["b", "d"]
+        assert swap.neighbours("a", before=2, after=1) == ["b"]
+        assert swap.neighbours("ghost", 1, 1) == []
+
+
+class TestBackends:
+    def test_disk_serializes_transfers(self):
+        backend = make_disk_backend()
+        first = backend.submit_read("a", now=0, core=0)
+        second = backend.submit_read("b", now=0, core=1)
+        assert second.started >= first.completed
+
+    def test_disk_write_lands_at_frontier(self):
+        backend = make_disk_backend()
+        backend.submit_read("a", 0, 0)   # assigns slot 0
+        backend.submit_write("a", 0, 0)  # rewrites at frontier
+        assert backend.placement_of("a") == 1
+
+    def test_disk_reverse_lookup(self):
+        backend = make_disk_backend()
+        backend.submit_read("a", 0, 0)
+        offset = backend.placement_of("a")
+        assert backend.key_at_offset(offset) == "a"
+
+    def test_remote_backend_places_and_reads(self):
+        backend = make_remote_backend()
+        sub = backend.submit_read("page", now=0, core=0)
+        assert sub.completed > 0
+        assert backend.placement_of("page") == 0
+        assert backend.key_at_offset(0) == "page"
+
+    def test_remote_release_is_noop(self):
+        backend = make_remote_backend()
+        backend.submit_read("page", 0, 0)
+        backend.release("page")
+        assert backend.placement_of("page") == 0
+
+
+class TestStageModels:
+    def test_legacy_budget_scale(self):
+        stages = default_legacy_stages(SimRandom(1, "s"))
+        samples = [stages.sample_read().total_ns for _ in range(2_000)]
+        mean = sum(samples) / len(samples)
+        # Figure 1: ~34 µs of software overhead on the legacy path.
+        assert us(25) < mean < us(50)
+
+    def test_lean_budget_scale(self):
+        stages = default_lean_stages(SimRandom(1, "s"))
+        samples = [stages.sample_read().total_ns for _ in range(2_000)]
+        mean = sum(samples) / len(samples)
+        # Leap software overhead + dispatch ≈ 2.4 µs.
+        assert us(1.5) < mean < us(4)
+
+    def test_write_stages_cheaper_than_reads(self):
+        stages = default_legacy_stages(SimRandom(1, "s"))
+        reads = sum(stages.sample_read().total_ns for _ in range(500))
+        writes = sum(stages.sample_write().total_ns for _ in range(500))
+        assert writes < reads
+
+
+class TestDataPaths:
+    def test_legacy_demand_read_pays_block_budget(self):
+        path = LegacyBlockPath(make_remote_backend(), SimRandom(1, "p"))
+        timings = [path.demand_read(("k", i), now=i * 200_000, core=i % 4) for i in range(300)]
+        totals = sorted(t.total_ns for t in timings)
+        median = totals[len(totals) // 2]
+        # ~38 µs median on remote memory (Figure 2 / §2.2).
+        assert us(30) < median < us(55)
+
+    def test_lean_demand_read_single_digit_us(self):
+        path = LeanLeapPath(make_remote_backend(), SimRandom(1, "p"))
+        timings = [path.demand_read(("k", i), now=i * 100_000, core=0) for i in range(300)]
+        totals = sorted(t.total_ns for t in timings)
+        median = totals[len(totals) // 2]
+        assert median < us(10)
+
+    def test_hit_costs_ordered(self):
+        legacy = LegacyBlockPath(make_remote_backend(seed=2), SimRandom(2, "p"))
+        lean = LeanLeapPath(make_remote_backend(seed=3), SimRandom(3, "p"))
+        legacy_hits = sorted(legacy.cache_hit_ns() for _ in range(1_001))
+        lean_hits = sorted(lean.cache_hit_ns() for _ in range(1_001))
+        # Legacy hit ≈ 1.5 µs; Leap hit ≈ 0.37 µs (sub-microsecond).
+        assert lean_hits[500] < 1_000 < legacy_hits[500]
+
+    def test_async_read_returns_future_completion(self):
+        path = LeanLeapPath(make_remote_backend(), SimRandom(1, "p"))
+        completion = path.async_read("k", now=1_000, core=0)
+        assert completion > 1_000
+        assert path.async_reads == 1
+
+    def test_async_write_counts(self):
+        path = LegacyBlockPath(make_disk_backend(), SimRandom(1, "p"))
+        completion = path.async_write("k", now=0, core=0)
+        assert completion > 0
+        assert path.async_writes == 1

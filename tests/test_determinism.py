@@ -1,0 +1,100 @@
+"""Whole-system determinism and cross-component property tests.
+
+A reproduction is only as good as its reproducibility: identical seeds
+must produce bit-identical runs across every configuration axis, and
+changing any one axis must not perturb unrelated random streams.
+"""
+
+import pytest
+
+from repro.sim.machine import Machine, MachineConfig, leap_config
+from repro.sim.simulate import simulate
+from repro.workloads.powergraph import PowerGraphWorkload
+from repro.workloads.patterns import StrideWorkload
+
+
+def fingerprint(result):
+    """A compact, complete digest of one run's observable behaviour."""
+    return (
+        result.completion_seconds(1),
+        tuple(sorted(result.metrics.as_dict().items())),
+        result.cache_stats.prefetch_adds,
+        result.cache_stats.evicted_unused,
+        tuple(result.recorder.samples()[:100]),
+    )
+
+
+def run_config(config, workload_seed=3):
+    machine = Machine(config)
+    workload = PowerGraphWorkload(4_096, 10_000, seed=workload_seed)
+    return simulate(machine, {1: workload}, memory_fraction=0.5)
+
+
+CONFIG_AXES = [
+    MachineConfig(data_path="legacy", medium="remote", prefetcher="readahead", eviction="lazy"),
+    MachineConfig(data_path="lean", medium="remote", prefetcher="leap", eviction="eager"),
+    MachineConfig(data_path="legacy", medium="hdd", prefetcher="stride", eviction="lazy"),
+    MachineConfig(data_path="legacy", medium="ssd", prefetcher="next-n-line", eviction="lazy"),
+    MachineConfig(data_path="lean", medium="remote", prefetcher="none", eviction="eager"),
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("config", CONFIG_AXES, ids=lambda c: f"{c.medium}-{c.prefetcher}")
+    def test_identical_seeds_identical_runs(self, config):
+        first = fingerprint(run_config(config))
+        second = fingerprint(run_config(config))
+        assert first == second
+
+    def test_different_seed_different_run(self):
+        a = fingerprint(run_config(leap_config(seed=1)))
+        b = fingerprint(run_config(leap_config(seed=2)))
+        assert a != b
+
+    def test_workload_seed_independent_of_machine_seed(self):
+        """Changing the machine seed must not change which pages fault
+        — only latencies — because the trace is seeded separately."""
+        result_a = run_config(leap_config(seed=1))
+        result_b = run_config(leap_config(seed=2))
+        assert result_a.metrics.faults == result_b.metrics.faults
+
+    def test_multiprocess_determinism(self):
+        def once():
+            machine = Machine(leap_config(seed=5))
+            workloads = {
+                1: PowerGraphWorkload(2_048, 5_000, seed=1),
+                2: StrideWorkload(2_048, 5_000, stride=10, seed=2),
+            }
+            result = simulate(machine, workloads, memory_fraction=0.5)
+            return tuple(
+                (pid, s.completion_ns, s.accesses) for pid, s in sorted(result.processes.items())
+            )
+
+        assert once() == once()
+
+
+class TestCrossComponentInvariants:
+    def test_latency_samples_all_positive(self):
+        result = run_config(leap_config(seed=4))
+        assert all(sample >= 0 for sample in result.recorder.samples())
+
+    def test_fault_accounting_balances(self):
+        result = run_config(leap_config(seed=4))
+        metrics = result.metrics
+        hits = metrics.prefetch_hits + metrics.carryover_hits
+        # Every fault is either a miss or served by some cache entry.
+        assert metrics.misses + hits == metrics.faults
+
+    def test_completion_at_least_total_think_time(self):
+        machine = Machine(leap_config(seed=4))
+        workload = StrideWorkload(1_024, 5_000, stride=10, seed=4, think_ns=2_000)
+        result = simulate(machine, {1: workload}, memory_fraction=0.5)
+        assert result.processes[1].completion_ns >= 5_000 * 2_000
+
+    def test_remote_traffic_conservation(self):
+        """Demand reads + prefetch reads == RDMA reads at the agent."""
+        machine = Machine(leap_config(seed=4))
+        workload = StrideWorkload(1_024, 5_000, stride=10, seed=4)
+        simulate(machine, {1: workload}, memory_fraction=0.5)
+        path = machine.data_path
+        assert machine.host_agent.reads == path.demand_reads + path.async_reads

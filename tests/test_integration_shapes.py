@@ -1,0 +1,136 @@
+"""End-to-end qualitative shape tests — the paper's claims in miniature.
+
+These are small, fast versions of the benchmark experiments: each
+asserts one headline property of the paper so that a regression in any
+substrate that would invalidate the reproduction fails the *unit* test
+suite, not just the benchmark run.
+"""
+
+from repro.sim.machine import Machine, disk_config, infiniswap_config, leap_config
+from repro.sim.simulate import simulate
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.patterns import SequentialWorkload, StrideWorkload
+from repro.workloads.powergraph import PowerGraphWorkload
+
+WSS = 4_096
+N = 12_000
+
+
+def stride_run(config):
+    machine = Machine(config)
+    workload = StrideWorkload(WSS, N, stride=10, seed=9, think_ns=2_000)
+    return simulate(machine, {1: workload}, memory_fraction=0.5)
+
+
+class TestHeadlineLatency:
+    def test_stride_median_improvement_order_of_magnitude(self):
+        """The 104x claim, at reduced scale: at least 30x here."""
+        default = stride_run(infiniswap_config(seed=9))
+        leap = stride_run(leap_config(seed=9))
+        improvement = default.recorder.percentile(50) / leap.recorder.percentile(50)
+        assert improvement > 30.0
+
+    def test_stride_tail_improvement(self):
+        default = stride_run(infiniswap_config(seed=9))
+        leap = stride_run(leap_config(seed=9))
+        improvement = default.recorder.percentile(99) / leap.recorder.percentile(99)
+        assert improvement > 3.0
+
+    def test_sequential_median_improvement_single_digit(self):
+        machine = Machine(infiniswap_config(seed=9))
+        default = simulate(
+            machine, {1: SequentialWorkload(WSS, N, seed=9, think_ns=2_000)}, 0.5
+        )
+        machine = Machine(leap_config(seed=9))
+        leap = simulate(
+            machine, {1: SequentialWorkload(WSS, N, seed=9, think_ns=2_000)}, 0.5
+        )
+        improvement = default.recorder.percentile(50) / leap.recorder.percentile(50)
+        assert 1.5 < improvement < 10.0
+
+    def test_leap_median_is_submicrosecond_on_stride(self):
+        leap = stride_run(leap_config(seed=9))
+        assert leap.recorder.percentile(50) < 1_000
+
+
+class TestPrefetcherBehaviour:
+    def test_leap_high_coverage_on_stride(self):
+        result = stride_run(leap_config(seed=9))
+        assert result.metrics.coverage > 0.7
+
+    def test_default_readahead_blind_on_stride(self):
+        result = stride_run(infiniswap_config(seed=9))
+        assert result.metrics.coverage < 0.1
+
+    def test_leap_throttles_on_random(self):
+        machine = Machine(leap_config(seed=9))
+        workload = MemcachedWorkload(WSS, N, seed=9)
+        result = simulate(machine, {1: workload}, memory_fraction=0.5)
+        # Mostly-random traffic: Leap must not flood the fabric.
+        assert result.metrics.prefetch_issued < result.metrics.faults * 0.8
+
+    def test_leap_beats_default_on_powergraph(self):
+        workload_args = dict(wss_pages=WSS, total_accesses=N, seed=9)
+        default = simulate(
+            Machine(infiniswap_config(seed=9)),
+            {1: PowerGraphWorkload(**workload_args)},
+            memory_fraction=0.5,
+        )
+        leap = simulate(
+            Machine(leap_config(seed=9)),
+            {1: PowerGraphWorkload(**workload_args)},
+            memory_fraction=0.5,
+        )
+        assert leap.completion_seconds(1) < default.completion_seconds(1)
+
+
+class TestSystemOrdering:
+    def test_disk_slowest_under_pressure(self):
+        workload_args = dict(wss_pages=WSS, total_accesses=N, seed=9)
+        times = {}
+        for name, config in (
+            ("disk", disk_config(medium="hdd", seed=9)),
+            ("dvmm", infiniswap_config(seed=9)),
+            ("leap", leap_config(seed=9)),
+        ):
+            result = simulate(
+                Machine(config),
+                {1: PowerGraphWorkload(**workload_args)},
+                memory_fraction=0.35,
+            )
+            times[name] = result.completion_seconds(1)
+        assert times["leap"] < times["dvmm"] < times["disk"]
+
+    def test_pressure_monotonicity(self):
+        workload_args = dict(wss_pages=WSS, total_accesses=N, seed=9)
+        completions = []
+        for fraction in (1.0, 0.5, 0.25):
+            result = simulate(
+                Machine(infiniswap_config(seed=9)),
+                {1: PowerGraphWorkload(**workload_args)},
+                memory_fraction=fraction,
+            )
+            completions.append(result.completion_seconds(1))
+        assert completions[0] < completions[1] <= completions[2] * 1.05
+
+
+class TestEagerEviction:
+    def test_eager_keeps_cache_small(self):
+        stride_eager = stride_run(leap_config(seed=9))
+        stride_lazy = stride_run(leap_config(seed=9, eviction="lazy"))
+        eager_cache = len(stride_eager.machine.cache.entries)
+        lazy_cache = len(stride_lazy.machine.cache.entries)
+        assert eager_cache <= lazy_cache
+
+    def test_eager_zero_stale_waits(self):
+        result = stride_run(leap_config(seed=9))
+        waits = result.cache_stats.stale_wait_ns
+        consumed_waits = [w for w in waits if w > 0]
+        # Consumed entries are freed instantly; only unused evictions
+        # may carry non-zero waits.
+        assert result.cache_stats.evicted_consumed >= 1
+        assert all(
+            w == 0
+            for w in waits[: result.cache_stats.evicted_consumed]
+            if result.cache_stats.evicted_unused == 0
+        )

@@ -1,0 +1,113 @@
+"""Tests for the Boyer–Moore majority vote (repro.core.majority)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.majority import (
+    majority_candidate,
+    majority_threshold,
+    verified_majority,
+)
+
+
+class TestMajorityThreshold:
+    def test_threshold_even_window(self):
+        assert majority_threshold(8) == 5
+
+    def test_threshold_odd_window(self):
+        assert majority_threshold(7) == 4
+
+    def test_threshold_window_of_one(self):
+        assert majority_threshold(1) == 1
+
+    def test_threshold_window_of_two(self):
+        assert majority_threshold(2) == 2
+
+    def test_threshold_rejects_zero(self):
+        with pytest.raises(ValueError):
+            majority_threshold(0)
+
+    def test_threshold_rejects_negative(self):
+        with pytest.raises(ValueError):
+            majority_threshold(-3)
+
+
+class TestMajorityCandidate:
+    def test_empty_input_returns_none(self):
+        assert majority_candidate([]) is None
+
+    def test_single_element(self):
+        assert majority_candidate([7]) == 7
+
+    def test_unanimous(self):
+        assert majority_candidate([3, 3, 3, 3]) == 3
+
+    def test_majority_element_found(self):
+        assert majority_candidate([1, 2, 1, 3, 1, 1]) == 1
+
+    def test_candidate_for_no_majority_is_some_element(self):
+        # With no majority the candidate is unspecified but must still
+        # be an element of the input.
+        values = [1, 2, 3, 4]
+        assert majority_candidate(values) in values
+
+    def test_alternating_ends_with_last_value_as_candidate(self):
+        assert majority_candidate([1, 2, 1, 2, 3]) == 3
+
+    def test_works_on_generators(self):
+        assert majority_candidate(x for x in [5, 5, 2, 5]) == 5
+
+
+class TestVerifiedMajority:
+    def test_empty_returns_none(self):
+        assert verified_majority([]) is None
+
+    def test_true_majority_verified(self):
+        assert verified_majority([-3, -3, -3, 72]) == -3
+
+    def test_exact_half_is_not_majority(self):
+        assert verified_majority([1, 1, 2, 2]) is None
+
+    def test_half_plus_one_is_majority(self):
+        assert verified_majority([1, 1, 1, 2, 2]) == 1
+
+    def test_no_majority_returns_none(self):
+        assert verified_majority([1, 2, 3, 4, 5, 6]) is None
+
+    def test_window_of_four_with_three_equal(self):
+        # Figure 5c: the t5–t8 window holds one stale delta and three
+        # +2s; ⌊4/2⌋+1 = 3 occurrences make +2 the major trend.
+        assert verified_majority([2, 2, 2, -58]) == 2
+
+    def test_window_of_one(self):
+        assert verified_majority([9]) == 9
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=200))
+    def test_matches_brute_force(self, values):
+        threshold = len(values) // 2 + 1
+        counts = {}
+        for v in values:
+            counts[v] = counts.get(v, 0) + 1
+        brute = None
+        for v, c in counts.items():
+            if c >= threshold:
+                brute = v
+                break
+        assert verified_majority(values) == brute
+
+    @given(st.lists(st.integers(), min_size=1, max_size=100))
+    def test_verified_majority_actually_majority(self, values):
+        result = verified_majority(values)
+        if result is not None:
+            occurrences = values.count(result)
+            assert occurrences >= len(values) // 2 + 1
+
+    @given(
+        st.integers(-50, 50),
+        st.lists(st.integers(-50, 50), max_size=40),
+    )
+    def test_planted_majority_always_found(self, winner, noise):
+        # Plant a strict majority of `winner` among the noise.
+        values = noise + [winner] * (len(noise) + 1)
+        assert verified_majority(values) == winner

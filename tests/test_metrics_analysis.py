@@ -1,0 +1,222 @@
+"""Tests for metrics (latency, counters, report) and trace analysis."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.pattern_windows import (
+    classify_majority,
+    classify_strict,
+    deltas_of,
+    window_fractions,
+)
+from repro.metrics.counters import PrefetchMetrics
+from repro.metrics.latency import LatencyRecorder, percentile, summarize
+from repro.metrics.report import format_cdf, format_table, ns_to_display
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_single_sample(self):
+        assert percentile([7], 99) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+    def test_monotone_in_p(self, samples):
+        values = [percentile(samples, p) for p in (0, 25, 50, 75, 99, 100)]
+        assert values == sorted(values)
+        assert min(samples) <= values[0]
+        assert values[-1] <= max(samples)
+
+
+class TestLatencyRecorder:
+    def test_record_and_summary(self):
+        recorder = LatencyRecorder()
+        for value in (100, 200, 300):
+            recorder.record("hit", value)
+        summary = recorder.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == 200
+        assert summary["p50"] == 200
+
+    def test_kind_filtering(self):
+        recorder = LatencyRecorder()
+        recorder.record("hit", 100)
+        recorder.record("miss", 9_000)
+        assert recorder.samples(["hit"]) == [100]
+        assert recorder.count("miss") == 1
+        assert recorder.kinds() == ["hit", "miss"]
+
+    def test_negative_rejected(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.record("hit", -1)
+
+    def test_cdf_fractions(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 11):
+            recorder.record("x", value)
+        cdf = recorder.cdf()
+        assert cdf[0] == (1.0, 0.1)
+        assert cdf[-1] == (10.0, 1.0)
+
+    def test_ccdf_complements_cdf(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 5):
+            recorder.record("x", value)
+        for (v1, c), (v2, cc) in zip(recorder.cdf(), recorder.ccdf()):
+            assert v1 == v2
+            assert c + cc == pytest.approx(1.0)
+
+    def test_cdf_downsamples_large_inputs(self):
+        recorder = LatencyRecorder()
+        for value in range(10_000):
+            recorder.record("x", value)
+        cdf = recorder.cdf(points=100)
+        assert len(cdf) <= 101
+        assert cdf[-1][1] == 1.0
+
+    def test_merge(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        a.record("x", 1)
+        b.record("x", 2)
+        b.record("y", 3)
+        a.merge(b)
+        assert sorted(a.samples()) == [1, 2, 3]
+
+    def test_summarize_empty(self):
+        assert summarize([]) == {"count": 0}
+
+
+class TestPrefetchMetrics:
+    def test_accuracy_and_coverage(self):
+        metrics = PrefetchMetrics()
+        for _ in range(10):
+            metrics.record_fault()
+        for key in ((1, 1), (1, 2), (1, 3), (1, 4)):
+            metrics.record_issue(key, issued_at=0, arrival_at=100)
+        metrics.record_hit((1, 1), now=500)
+        metrics.record_hit((1, 2), now=600)
+        assert metrics.accuracy == pytest.approx(0.5)
+        assert metrics.coverage == pytest.approx(0.2)
+
+    def test_timeliness_after_arrival(self):
+        metrics = PrefetchMetrics()
+        metrics.record_issue((1, 1), issued_at=100, arrival_at=200)
+        metrics.record_hit((1, 1), now=700)
+        assert metrics.timeliness_ns == [600]
+        assert metrics.inflight_hits == 0
+
+    def test_timeliness_inflight(self):
+        metrics = PrefetchMetrics()
+        metrics.record_issue((1, 1), issued_at=100, arrival_at=900)
+        metrics.record_hit((1, 1), now=400)  # before arrival
+        assert metrics.inflight_hits == 1
+        assert metrics.timeliness_ns == [800]
+
+    def test_carryover_hits_do_not_pollute_accuracy(self):
+        metrics = PrefetchMetrics()
+        metrics.record_hit((9, 9), now=0)  # never issued in this window
+        assert metrics.prefetch_hits == 0
+        assert metrics.carryover_hits == 1
+        assert metrics.accuracy == 0.0
+
+    def test_evicted_unused_clears_outstanding(self):
+        metrics = PrefetchMetrics()
+        metrics.record_issue((1, 1), 0, 10)
+        metrics.record_evicted_unused((1, 1))
+        metrics.record_hit((1, 1), now=50)
+        assert metrics.carryover_hits == 1  # no longer outstanding
+
+    def test_zero_denominators(self):
+        metrics = PrefetchMetrics()
+        assert metrics.accuracy == 0.0
+        assert metrics.coverage == 0.0
+        assert metrics.miss_ratio == 0.0
+
+
+class TestPatternClassifiers:
+    def test_deltas(self):
+        assert deltas_of([5, 6, 8, 3]) == [1, 2, -5]
+
+    def test_strict_sequential(self):
+        assert classify_strict([1, 1, 1]) == "sequential"
+
+    def test_strict_stride(self):
+        assert classify_strict([7, 7, 7]) == "stride"
+
+    def test_strict_other_on_any_break(self):
+        assert classify_strict([1, 1, 2]) == "other"
+
+    def test_strict_zero_delta_is_other(self):
+        assert classify_strict([0, 0]) == "other"
+
+    def test_majority_tolerates_minority_noise(self):
+        assert classify_majority([1, 1, 1, 1, 9, 1, -3]) == "sequential"
+        assert classify_majority([4, 4, 4, 9, 4]) == "stride"
+
+    def test_majority_without_majority_is_other(self):
+        assert classify_majority([1, 2, 3, 4]) == "other"
+
+    def test_window_fractions_sum_to_one(self):
+        addresses = [1, 2, 3, 10, 20, 21, 22, 23, 5]
+        fractions = window_fractions(addresses, window=4)
+        total = fractions.sequential + fractions.stride + fractions.other
+        assert total == pytest.approx(1.0)
+        assert fractions.windows == len(addresses) - 3
+
+    def test_window_fractions_pure_sequential(self):
+        fractions = window_fractions(range(100), window=8)
+        assert fractions.sequential == 1.0
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            window_fractions([1, 2], window=1)
+
+    def test_empty_stream(self):
+        fractions = window_fractions([], window=4)
+        assert fractions.windows == 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_ns_display_scales(self):
+        assert ns_to_display(500) == "500ns"
+        assert ns_to_display(4_300) == "4.30us"
+        assert ns_to_display(2_500_000) == "2.50ms"
+        assert ns_to_display(3_000_000_000) == "3.00s"
+
+    def test_format_cdf(self):
+        text = format_cdf([(1_000.0, 0.5), (9_000.0, 0.99)], "lat")
+        assert text.startswith("lat:")
+        assert "p50=1.00us" in text
+
+    def test_format_cdf_empty(self):
+        assert "no samples" in format_cdf([], "lat")

@@ -1,0 +1,113 @@
+"""Tests for the adaptive prefetch window / Algorithm 2 GetPrefetchWindowSize."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.prefetch_window import (
+    DEFAULT_MAX_WINDOW,
+    PrefetchWindow,
+    round_up_power_of_two,
+)
+
+
+class TestRoundUpPowerOfTwo:
+    def test_exact_powers_unchanged(self):
+        for value in (1, 2, 4, 8, 16, 1024):
+            assert round_up_power_of_two(value) == value
+
+    def test_rounds_up(self):
+        assert round_up_power_of_two(3) == 4
+        assert round_up_power_of_two(5) == 8
+        assert round_up_power_of_two(9) == 16
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            round_up_power_of_two(0)
+
+    @given(st.integers(1, 1 << 20))
+    def test_result_is_power_of_two_and_bounds(self, value):
+        result = round_up_power_of_two(value)
+        assert result & (result - 1) == 0
+        assert result >= value
+        assert result < value * 2
+
+
+class TestPrefetchWindow:
+    def test_no_hits_no_trend_suspends(self):
+        window = PrefetchWindow()
+        assert window.next_size(follows_trend=False) == 0
+
+    def test_no_hits_but_on_trend_probes_one_page(self):
+        window = PrefetchWindow()
+        assert window.next_size(follows_trend=True) == 1
+
+    def test_hits_grow_window_to_power_of_two(self):
+        window = PrefetchWindow(max_size=8)
+        for _ in range(2):
+            window.record_hit()
+        # Chit=2 → roundup(3) = 4.
+        assert window.next_size(follows_trend=True) == 4
+
+    def test_window_capped_at_max(self):
+        window = PrefetchWindow(max_size=8)
+        for _ in range(30):
+            window.record_hit()
+        assert window.next_size(follows_trend=True) == 8
+
+    def test_chit_resets_each_round(self):
+        window = PrefetchWindow()
+        window.record_hit()
+        window.next_size(follows_trend=True)
+        assert window.cache_hits == 0
+
+    def test_smooth_shrink_halves_not_collapses(self):
+        window = PrefetchWindow(max_size=8)
+        for _ in range(8):
+            window.record_hit()
+        assert window.next_size(follows_trend=True) == 8
+        # A sudden dead round would naively suspend (0); the smooth
+        # shrink rule floors it at half the previous window.
+        assert window.next_size(follows_trend=False) == 4
+        assert window.next_size(follows_trend=False) == 2
+        assert window.next_size(follows_trend=False) == 1
+        assert window.next_size(follows_trend=False) == 0
+
+    def test_shrink_then_recover(self):
+        window = PrefetchWindow(max_size=8)
+        for _ in range(8):
+            window.record_hit()
+        window.next_size(follows_trend=True)
+        window.next_size(follows_trend=False)  # 4
+        for _ in range(8):
+            window.record_hit()
+        assert window.next_size(follows_trend=True) == 8
+
+    def test_reset(self):
+        window = PrefetchWindow()
+        window.record_hit()
+        window.next_size(follows_trend=True)
+        window.reset()
+        assert window.previous_size == 0
+        assert window.cache_hits == 0
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(ValueError):
+            PrefetchWindow(max_size=0)
+
+    def test_default_max_is_paper_value(self):
+        assert DEFAULT_MAX_WINDOW == 8
+
+    @given(st.lists(st.tuples(st.integers(0, 12), st.booleans()), max_size=60))
+    def test_invariants_hold_through_any_sequence(self, rounds):
+        """Size is always within [0, max]; never less than half the
+        previous round's size (the smooth-shrink contract)."""
+        window = PrefetchWindow(max_size=8)
+        previous = 0
+        for hits, on_trend in rounds:
+            for _ in range(hits):
+                window.record_hit()
+            size = window.next_size(on_trend)
+            assert 0 <= size <= 8
+            assert size >= previous // 2
+            previous = size

@@ -1,0 +1,143 @@
+"""Tests for the simulation primitives: clock, RNG, units."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.clock import ClockError, VirtualClock
+from repro.sim.rng import SimRandom, derive_seed
+from repro.sim.units import (
+    PAGE_SIZE,
+    gb,
+    kb,
+    mb,
+    ms,
+    ns,
+    pages,
+    seconds,
+    to_ms,
+    to_seconds,
+    to_us,
+    us,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0
+
+    def test_custom_start(self):
+        assert VirtualClock(500).now == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(100) == 100
+        assert clock.advance(0) == 100
+        assert clock.now == 100
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ClockError):
+            clock.advance(-1)
+
+    def test_advance_to_future(self):
+        clock = VirtualClock()
+        clock.advance_to(1_000)
+        assert clock.now == 1_000
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(1_000)
+        clock.advance_to(500)
+        assert clock.now == 1_000
+
+    @given(st.lists(st.integers(0, 10_000), max_size=100))
+    def test_monotonicity(self, deltas):
+        clock = VirtualClock()
+        previous = 0
+        for delta in deltas:
+            clock.advance(delta)
+            assert clock.now >= previous
+            previous = clock.now
+
+
+class TestSimRandom:
+    def test_same_seed_same_stream(self):
+        a = SimRandom(42, "x")
+        b = SimRandom(42, "x")
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_labels_different_streams(self):
+        a = SimRandom(42, "x")
+        b = SimRandom(42, "y")
+        assert [a.randint(0, 1 << 30) for _ in range(8)] != [
+            b.randint(0, 1 << 30) for _ in range(8)
+        ]
+
+    def test_spawn_independent_of_parent_consumption(self):
+        parent_a = SimRandom(42, "p")
+        child_a = parent_a.spawn("c")
+        values_a = [child_a.random() for _ in range(5)]
+
+        parent_b = SimRandom(42, "p")
+        child_b = parent_b.spawn("c")
+        values_b = [child_b.random() for _ in range(5)]
+        assert values_a == values_b
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_lognormal_positive_and_median_ballpark(self):
+        rng = SimRandom(42, "ln")
+        samples = sorted(rng.lognormal_ns(10_000, 0.5) for _ in range(4_001))
+        assert all(s >= 1 for s in samples)
+        median = samples[len(samples) // 2]
+        assert 8_000 < median < 12_500
+
+    def test_lognormal_rejects_non_positive_median(self):
+        rng = SimRandom(42, "ln")
+        with pytest.raises(ValueError):
+            rng.lognormal_ns(0, 0.5)
+
+    def test_zipf_in_range_and_skewed(self):
+        rng = SimRandom(42, "z")
+        draws = [rng.zipf(1000, 1.2) for _ in range(5_000)]
+        assert all(0 <= d < 1000 for d in draws)
+        top_share = sum(1 for d in draws if d < 10) / len(draws)
+        assert top_share > 0.3, "a 1.2-skew zipf concentrates on top ranks"
+
+    @given(st.integers(1, 500), st.floats(0.5, 2.0))
+    def test_zipf_always_in_range(self, n_items, skew):
+        rng = SimRandom(7, "zz")
+        for _ in range(10):
+            assert 0 <= rng.zipf(n_items, skew) < n_items
+
+
+class TestUnits:
+    def test_time_conversions(self):
+        assert us(4.3) == 4_300
+        assert ms(1) == 1_000_000
+        assert seconds(2) == 2_000_000_000
+        assert ns(5.4) == 5
+        assert to_us(4_300) == 4.3
+        assert to_ms(1_500_000) == 1.5
+        assert to_seconds(2_000_000_000) == 2.0
+
+    def test_size_conversions(self):
+        assert kb(4) == 4_096
+        assert mb(1) == 1_048_576
+        assert gb(1) == 1_073_741_824
+        assert PAGE_SIZE == 4_096
+
+    def test_pages_rounds_up(self):
+        assert pages(1) == 1
+        assert pages(4_096) == 1
+        assert pages(4_097) == 2
+        assert pages(0) == 0

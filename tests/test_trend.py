@@ -1,0 +1,111 @@
+"""Tests for FindTrend / Algorithm 1 (repro.core.trend)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.access_history import AccessHistory
+from repro.core.trend import find_trend
+
+
+def history_with(deltas, capacity=8):
+    history = AccessHistory(capacity)
+    for delta in deltas:
+        history.push_delta(delta)
+    return history
+
+
+class TestFindTrend:
+    def test_empty_history_has_no_trend(self):
+        assert find_trend(AccessHistory(8)) is None
+
+    def test_uniform_deltas_detected(self):
+        assert find_trend(history_with([3] * 8)) == 3
+
+    def test_negative_stride_detected(self):
+        assert find_trend(history_with([-3, -3, -3, -3])) == -3
+
+    def test_no_majority_returns_none(self):
+        assert find_trend(history_with([1, 2, 3, 4, 5, 6, 7, 8])) is None
+
+    def test_rejects_bad_nsplit(self):
+        with pytest.raises(ValueError):
+            find_trend(history_with([1]), n_split=0)
+
+    def test_small_window_detects_fresh_trend(self):
+        # Old entries are a different trend; the recent half suffices.
+        history = history_with([5, 5, 5, 5, 2, 2, 2, 2], capacity=8)
+        assert find_trend(history, n_split=2) == 2
+
+    def test_window_doubling_rescues_sparse_majority(self):
+        # Pushed oldest→newest; window(4) newest-first = [7, 9, 9, 7]
+        # is a 2/2 tie (no majority), but window(8) holds six 7s.
+        history = history_with([7, 7, 7, 7, 7, 9, 9, 7], capacity=8)
+        assert find_trend(history, n_split=2) == 7
+
+    def test_partial_history(self):
+        history = history_with([4, 4, 4], capacity=32)
+        assert find_trend(history, n_split=2) == 4
+
+    def test_tolerates_short_interruption(self):
+        # §3.2.1: up to ⌊w/2⌋-1 irregularities are invisible.
+        history = history_with([2, 2, 2, 99, 2, 2, -5, 2], capacity=8)
+        assert find_trend(history) == 2
+
+
+class TestFigure5Walkthrough:
+    """The end-to-end example of §3.2.1 / Figure 5."""
+
+    ADDRESSES = [
+        0x48, 0x45, 0x42, 0x3F, 0x3C, 0x02, 0x04, 0x06,
+        0x08, 0x0A, 0x0C, 0x10, 0x39, 0x12, 0x14, 0x16,
+    ]
+
+    def run_until(self, count):
+        history = AccessHistory(8)
+        for address in self.ADDRESSES[:count]:
+            history.record_access(address)
+        return history
+
+    def test_t3_detects_minus_3(self):
+        history = self.run_until(4)  # t0..t3
+        assert find_trend(history, n_split=2) == -3
+
+    def test_t7_no_majority(self):
+        history = self.run_until(8)  # trend is shifting at t7
+        assert find_trend(history, n_split=2) is None
+
+    def test_t8_adapts_to_plus_2(self):
+        history = self.run_until(9)
+        assert find_trend(history, n_split=2) == 2
+
+    def test_t15_holds_plus_2_through_noise(self):
+        history = self.run_until(16)  # t12/t13 are irregular
+        assert find_trend(history, n_split=2) == 2
+
+
+class TestProperties:
+    @given(
+        st.integers(-20, 20),
+        st.integers(4, 32),
+    )
+    def test_pure_stride_always_detected(self, delta, length):
+        history = history_with([delta] * length, capacity=32)
+        assert find_trend(history) == delta
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=32))
+    def test_result_is_majority_of_some_suffix_window(self, deltas):
+        """Any detected trend must be a genuine majority of a window."""
+        history = history_with(deltas, capacity=32)
+        trend = find_trend(history, n_split=2)
+        if trend is None:
+            return
+        found = False
+        size = 16
+        while size <= 32:
+            window = history.window(size)
+            if window and window.count(trend) >= len(window) // 2 + 1:
+                found = True
+                break
+            size *= 2
+        assert found

@@ -1,0 +1,183 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.analysis.pattern_windows import window_fractions
+from repro.workloads.base import materialize_trace
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.numpy_matmul import NumpyMatmulWorkload
+from repro.workloads.patterns import (
+    RandomWorkload,
+    SequentialWorkload,
+    StrideWorkload,
+    ZipfianWorkload,
+)
+from repro.workloads.powergraph import PowerGraphWorkload
+from repro.workloads.segments import SegmentMixWorkload
+from repro.workloads.voltdb import VoltDBWorkload
+
+ALL_WORKLOADS = [
+    lambda: SequentialWorkload(512, 2_000, seed=3),
+    lambda: StrideWorkload(512, 2_000, stride=10, seed=3),
+    lambda: RandomWorkload(512, 2_000, seed=3),
+    lambda: ZipfianWorkload(512, 2_000, skew=1.1, seed=3),
+    lambda: PowerGraphWorkload(2_048, 4_000, seed=3),
+    lambda: NumpyMatmulWorkload(2_048, 4_000, seed=3),
+    lambda: VoltDBWorkload(2_048, 4_000, seed=3),
+    lambda: MemcachedWorkload(2_048, 4_000, seed=3),
+]
+
+
+class TestContracts:
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_length_and_bounds(self, factory):
+        workload = factory()
+        trace = materialize_trace(workload)
+        assert len(trace) == workload.total_accesses
+        assert all(0 <= access.vpn < workload.wss_pages for access in trace)
+        assert all(access.think_ns == workload.think_ns for access in trace)
+
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_determinism(self, factory):
+        first = [(a.vpn, a.is_write) for a in factory().accesses()]
+        second = [(a.vpn, a.is_write) for a in factory().accesses()]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = [x.vpn for x in PowerGraphWorkload(2_048, 2_000, seed=1).accesses()]
+        b = [x.vpn for x in PowerGraphWorkload(2_048, 2_000, seed=2).accesses()]
+        assert a != b
+
+    def test_write_fraction_roughly_respected(self):
+        workload = PowerGraphWorkload(2_048, 8_000, seed=3)
+        trace = materialize_trace(workload)
+        writes = sum(1 for a in trace if a.is_write)
+        assert 0.15 < writes / len(trace) < 0.35  # configured 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialWorkload(0, 100)
+        with pytest.raises(ValueError):
+            SequentialWorkload(100, 0)
+        with pytest.raises(ValueError):
+            StrideWorkload(100, 100, stride=0)
+        with pytest.raises(ValueError):
+            ZipfianWorkload(100, 100, skew=0)
+
+
+class TestPatternShapes:
+    def test_sequential_is_sequential(self):
+        vpns = [a.vpn for a in SequentialWorkload(128, 400, seed=1).accesses()]
+        assert vpns[:5] == [0, 1, 2, 3, 4]
+        assert vpns[128] == 0  # wraps into a new pass
+
+    def test_stride_visits_every_page(self):
+        workload = StrideWorkload(100, 100, stride=10, seed=1)
+        vpns = {a.vpn for a in workload.accesses()}
+        assert vpns == set(range(100))
+
+    def test_stride_deltas_constant_within_sweep(self):
+        vpns = [a.vpn for a in StrideWorkload(1_000, 90, stride=10).accesses()]
+        deltas = {b - a for a, b in zip(vpns, vpns[1:])}
+        assert deltas == {10}
+
+    def test_zipf_concentrates_access(self):
+        workload = ZipfianWorkload(1_000, 10_000, skew=1.3, seed=1)
+        counts: dict[int, int] = {}
+        for access in workload.accesses():
+            counts[access.vpn] = counts.get(access.vpn, 0) + 1
+        top = sorted(counts.values(), reverse=True)[:50]
+        assert sum(top) > 0.4 * workload.total_accesses
+
+    def test_random_spreads_access(self):
+        workload = RandomWorkload(1_000, 10_000, seed=1)
+        distinct = {a.vpn for a in workload.accesses()}
+        assert len(distinct) > 900
+
+
+class TestApplicationMixes:
+    """The Figure 3-facing characteristics of the synthetic apps."""
+
+    def test_memcached_mostly_irregular(self):
+        workload = MemcachedWorkload(4_096, 20_000, seed=5)
+        vpns = [a.vpn for a in workload.accesses()]
+        fractions = window_fractions(vpns, window=8, majority=True)
+        assert fractions.other > 0.8
+
+    def test_numpy_mostly_patterned(self):
+        workload = NumpyMatmulWorkload(4_096, 20_000, seed=5)
+        vpns = [a.vpn for a in workload.accesses()]
+        fractions = window_fractions(vpns, window=8, majority=True)
+        assert fractions.sequential + fractions.stride > 0.6
+
+    def test_powergraph_has_all_three(self):
+        workload = PowerGraphWorkload(4_096, 20_000, seed=5)
+        vpns = [a.vpn for a in workload.accesses()]
+        fractions = window_fractions(vpns, window=8, majority=True)
+        assert fractions.sequential > 0.2
+        assert fractions.other > 0.1
+
+    def test_voltdb_majority_irregular(self):
+        workload = VoltDBWorkload(4_096, 20_000, seed=5)
+        vpns = [a.vpn for a in workload.accesses()]
+        fractions = window_fractions(vpns, window=8, majority=True)
+        assert fractions.other > 0.3
+
+    def test_throughput_metadata(self):
+        voltdb = VoltDBWorkload(2_048, 4_000)
+        assert voltdb.accesses_per_op == 8
+        assert voltdb.total_ops == 500
+        memcached = MemcachedWorkload(2_048, 4_000)
+        assert memcached.accesses_per_op == 2
+        assert memcached.total_ops == 2_000
+
+
+class TestSegmentMixValidation:
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentMixWorkload(
+                128, 100,
+                sequential_weight=-1, stride_weight=0, irregular_weight=1,
+            )
+
+    def test_bad_interleave_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentMixWorkload(
+                128, 100,
+                sequential_weight=1, stride_weight=0, irregular_weight=0,
+                interleave=0,
+            )
+
+    def test_bad_hot_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentMixWorkload(
+                128, 100,
+                sequential_weight=1, stride_weight=0, irregular_weight=0,
+                hot_fraction=1.5,
+            )
+
+    def test_bad_region_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentMixWorkload(
+                128, 100,
+                sequential_weight=1, stride_weight=0, irregular_weight=0,
+                region_fraction=0.0,
+            )
+
+    def test_pure_sequential_mix(self):
+        workload = SegmentMixWorkload(
+            256, 1_000, seed=1,
+            sequential_weight=1.0, stride_weight=0.0, irregular_weight=0.0,
+        )
+        vpns = [a.vpn for a in workload.accesses()]
+        deltas = [b - a for a, b in zip(vpns, vpns[1:])]
+        assert deltas.count(1) / len(deltas) > 0.9
+
+    def test_hot_region_bounds_irregular_targets(self):
+        workload = SegmentMixWorkload(
+            1_000, 2_000, seed=1,
+            sequential_weight=0.0, stride_weight=0.0, irregular_weight=1.0,
+            hot_fraction=0.2, irregular_skew=1.0,
+        )
+        vpns = {a.vpn for a in workload.accesses()}
+        assert max(vpns) < 200  # hot region = first 20% of pages
