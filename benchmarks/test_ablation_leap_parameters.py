@@ -14,7 +14,7 @@ calls for sweeping them.  Expectations asserted:
 import pytest
 from conftest import run_once
 
-from repro.bench.runner import BenchScale, run_single
+from repro.bench.runner import run_single
 from repro.metrics.report import format_table
 from repro.sim.machine import leap_config
 from repro.workloads.powergraph import PowerGraphWorkload

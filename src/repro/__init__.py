@@ -30,6 +30,7 @@ Quickstart::
 from repro.core.access_history import AccessHistory
 from repro.core.prefetcher import LeapPrefetcher
 from repro.core.leap import Leap
+from repro.core.sharded_tracker import ShardedLeapTracker
 from repro.core.tracker import IsolatedLeapTracker
 from repro.core.trend import find_trend
 from repro.mem.vmm import AccessKind, AccessOutcome, VirtualMemoryManager
@@ -42,6 +43,11 @@ from repro.sim.machine import (
 )
 from repro.sim.process import PageAccess
 from repro.sim.run import RunResult, run_processes, warmup_process
+from repro.sim.scheduler import (
+    ConcurrentRunResult,
+    ConcurrentScheduler,
+    simulate_concurrent,
+)
 from repro.sim.simulate import simulate
 from repro.workloads.base import Workload
 from repro.workloads.memcached import MemcachedWorkload
@@ -61,6 +67,8 @@ __all__ = [
     "AccessHistory",
     "AccessKind",
     "AccessOutcome",
+    "ConcurrentRunResult",
+    "ConcurrentScheduler",
     "IsolatedLeapTracker",
     "Leap",
     "LeapPrefetcher",
@@ -73,6 +81,7 @@ __all__ = [
     "RandomWorkload",
     "RunResult",
     "SequentialWorkload",
+    "ShardedLeapTracker",
     "StrideWorkload",
     "VirtualMemoryManager",
     "VoltDBWorkload",
@@ -84,5 +93,6 @@ __all__ = [
     "leap_config",
     "run_processes",
     "simulate",
+    "simulate_concurrent",
     "warmup_process",
 ]

@@ -8,13 +8,16 @@ all four applications contending for the fabric at once.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 
 from repro.bench.prefetch import application_workloads
-from repro.bench.runner import BenchScale, run_single
+from repro.bench.runner import BenchScale, run_single, run_single_concurrent
 from repro.metrics.latency import summarize
+from repro.perf.artifacts import ARTIFACT_SCHEMA_VERSION, write_artifact
+from repro.perf.profile import profile_concurrent
 from repro.sim.machine import Machine, disk_config, infiniswap_config, leap_config
-from repro.sim.simulate import simulate
 from repro.workloads.powergraph import PowerGraphWorkload
 
 __all__ = [
@@ -149,6 +152,7 @@ class Fig12Cell:
 def fig12_cache_limits(
     scale: BenchScale = BenchScale(),
     cache_limits: tuple[int | None, ...] = (None, 2048, 256, 32),
+    perf_dir: str | None = None,
 ) -> list[Fig12Cell]:
     """Leap under shrinking prefetch-cache budgets (Figure 12).
 
@@ -157,18 +161,20 @@ def fig12_cache_limits(
     are expressed in pages.  The expected result is Leap's: because
     prefetched pages are consumed and eagerly freed quickly, even a
     cache of tens of pages costs only ~12% performance.
+
+    Runs on the concurrent engine (one core per single-app run); with
+    *perf_dir* (or ``$REPRO_PERF_DIR``) set, each run's per-app latency
+    percentiles land in a ``BENCH_fig12.json`` artifact.
     """
+    perf_dir = perf_dir if perf_dir is not None else os.environ.get("REPRO_PERF_DIR")
     cells = []
-    for app_name, workload_fn in (
-        ("powergraph", lambda: application_workloads(scale)["powergraph"]),
-        ("numpy", lambda: application_workloads(scale)["numpy"]),
-        ("voltdb", lambda: application_workloads(scale)["voltdb"]),
-        ("memcached", lambda: application_workloads(scale)["memcached"]),
-    ):
+    perf_apps: dict[str, dict] = {}
+    started = time.perf_counter()
+    for app_name in ("powergraph", "numpy", "voltdb", "memcached"):
         for limit in cache_limits:
             config = leap_config(seed=scale.seed, cache_capacity_pages=limit)
-            workload = workload_fn()
-            result = run_single(config, workload, memory_fraction=0.5)
+            workload = application_workloads(scale)[app_name]
+            result = run_single_concurrent(config, workload, memory_fraction=0.5)
             throughput = None
             if app_name in THROUGHPUT_APPS:
                 throughput = (
@@ -182,6 +188,23 @@ def fig12_cache_limits(
                     throughput_kops=throughput,
                 )
             )
+            if perf_dir:
+                row_name = f"{app_name}@{'inf' if limit is None else limit}"
+                perf_apps.update(
+                    profile_concurrent(result, {1: row_name}, bench="fig12")["apps"]
+                )
+    if perf_dir:
+        write_artifact(
+            {
+                "schema": ARTIFACT_SCHEMA_VERSION,
+                "bench": "fig12",
+                "engine": "concurrent",
+                "config": {"seed": scale.seed, "cores": 1},
+                "apps": perf_apps,
+                "wall_clock_s": round(time.perf_counter() - started, 3),
+            },
+            perf_dir,
+        )
     return cells
 
 
@@ -195,15 +218,25 @@ class Fig13Cell:
     completion_seconds: float
 
 
-def fig13_concurrent_applications(scale: BenchScale = BenchScale()) -> list[Fig13Cell]:
+def fig13_concurrent_applications(
+    scale: BenchScale = BenchScale(),
+    cores: int = 4,
+    perf_dir: str | None = None,
+) -> list[Fig13Cell]:
     """All four applications sharing one host and fabric (Figure 13).
 
-    Each application keeps its own 50% cgroup limit; they contend for
-    the RDMA dispatch queues and — on the default path — confuse each
-    other's shared readahead state, while Leap's per-process trackers
-    stay isolated.
+    Each application keeps its own 50% cgroup limit and a home core;
+    the event-driven concurrent engine interleaves them, so they
+    contend for cores and the RDMA dispatch queues and — on the default
+    path — confuse each other's shared readahead state, while Leap's
+    per-(process, core) trackers stay isolated.
+
+    With *perf_dir* (or ``$REPRO_PERF_DIR``) set, each system's run
+    emits a ``BENCH_fig13_<system>.json`` latency artifact.
     """
+    perf_dir = perf_dir if perf_dir is not None else os.environ.get("REPRO_PERF_DIR")
     pids = {"powergraph": 1, "numpy": 2, "voltdb": 3, "memcached": 4}
+    names = {pid: name for name, pid in pids.items()}
     cells = []
     for system_name, config_fn in (
         ("d-vmm", lambda: infiniswap_config(seed=scale.seed)),
@@ -214,7 +247,21 @@ def fig13_concurrent_applications(scale: BenchScale = BenchScale()) -> list[Fig1
             pids[name]: workload
             for name, workload in application_workloads(scale).items()
         }
-        result = simulate(machine, workloads, memory_fraction=0.5)
+        started = time.perf_counter()
+        result = machine.run_concurrent(workloads, cores=cores, memory_fraction=0.5)
+        wall_clock_s = time.perf_counter() - started
+        if perf_dir:
+            slug = system_name.replace("+", "_").replace("-", "")
+            write_artifact(
+                profile_concurrent(
+                    result,
+                    names,
+                    bench=f"fig13_{slug}",
+                    config={"seed": scale.seed, "cores": cores, "system": system_name},
+                    wall_clock_s=wall_clock_s,
+                ),
+                perf_dir,
+            )
         for name, pid in pids.items():
             cells.append(
                 Fig13Cell(

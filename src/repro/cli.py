@@ -1,11 +1,16 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Three commands cover the common interactive uses:
+Five commands cover the common interactive uses:
 
 * ``compare`` — run one workload on D-VMM and D-VMM+Leap, print the
   latency and prefetch-quality comparison (the quickstart, as a CLI);
 * ``run`` — run one workload on one configuration and print its
   metrics (pick the system, prefetcher, medium, and memory limit);
+* ``concurrent`` — run several workloads at once through the
+  multi-core engine (core contention, migration, per-app latency),
+  optionally emitting a ``BENCH_*.json`` perf artifact;
+* ``perf`` — the CI perf gate: emit the scaled-down Figure 13 artifact
+  and compare it against a committed baseline;
 * ``figures`` — list the benchmark targets that regenerate each of
   the paper's tables and figures.
 """
@@ -92,6 +97,31 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(run)
     run.add_argument("--system", choices=sorted(SYSTEMS), default="leap")
 
+    concurrent = sub.add_parser(
+        "concurrent", help="run several workloads at once across cores"
+    )
+    concurrent.add_argument(
+        "workloads",
+        nargs="+",
+        choices=sorted(WORKLOADS),
+        help="one process per workload name (repeats allowed)",
+    )
+    concurrent.add_argument("--system", choices=sorted(SYSTEMS), default="leap")
+    concurrent.add_argument("--cores", type=int, default=4)
+    concurrent.add_argument("--wss-pages", type=int, default=8_192)
+    concurrent.add_argument("--accesses", type=int, default=30_000)
+    concurrent.add_argument("--memory", type=float, default=0.5)
+    concurrent.add_argument("--seed", type=int, default=42)
+    concurrent.add_argument("--no-migration", action="store_true")
+    concurrent.add_argument(
+        "--perf-out", metavar="DIR", help="write a BENCH_concurrent.json artifact"
+    )
+
+    from repro.perf.__main__ import add_perf_arguments
+
+    perf = sub.add_parser("perf", help="emit/gate the Figure 13 perf artifact")
+    add_perf_arguments(perf)
+
     sub.add_parser("figures", help="list paper-figure benchmark targets")
     return parser
 
@@ -145,6 +175,74 @@ def _print_rows(rows: dict[str, dict]) -> None:
     )
 
 
+def _run_concurrent(args) -> int:
+    from repro.perf.artifacts import write_artifact
+    from repro.perf.profile import percentiles_us, profile_concurrent
+
+    machine = Machine(SYSTEMS[args.system](args))
+    workloads = {}
+    names = {}
+    for index, name in enumerate(args.workloads):
+        pid = index + 1
+        cls = WORKLOADS[name]
+        kwargs = dict(
+            wss_pages=args.wss_pages, total_accesses=args.accesses, seed=args.seed + index
+        )
+        workloads[pid] = cls(**kwargs)
+        names[pid] = f"{name}#{pid}"
+    try:
+        result = machine.run_concurrent(
+            workloads,
+            cores=args.cores,
+            memory_fraction=args.memory,
+            allow_migration=not args.no_migration,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = []
+    for pid, name in names.items():
+        summary = result.processes[pid]
+        stats = percentiles_us(summary.fault_latencies)
+        rows.append(
+            (
+                name,
+                f"{summary.completion_seconds:.3f}",
+                f"{stats['p50_us']:.2f}",
+                f"{stats['p95_us']:.2f}",
+                f"{stats['p99_us']:.2f}",
+                len(summary.fault_latencies),
+                f"{summary.core_wait_ns / 1e6:.1f}",
+                summary.migrations,
+            )
+        )
+    print(
+        format_table(
+            ["process", "completion (s)", "p50 (us)", "p95 (us)", "p99 (us)",
+             "faults", "core wait (ms)", "migrations"],
+            rows,
+            title=f"{len(workloads)} processes on {args.cores} cores "
+            f"({args.system}, {args.memory:.0%} memory)",
+        )
+    )
+    print(f"\nmakespan: {result.makespan_ns / 1e9:.3f}s  "
+          f"migrations: {result.migrations}")
+    if args.perf_out:
+        artifact = profile_concurrent(
+            result,
+            names,
+            bench="concurrent",
+            config={
+                "seed": args.seed,
+                "cores": args.cores,
+                "system": args.system,
+                "workloads": list(args.workloads),
+            },
+        )
+        print(f"wrote {write_artifact(artifact, args.perf_out)}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "figures":
@@ -160,6 +258,12 @@ def main(argv: list[str] | None = None) -> int:
         rows = {args.system: _run_one(SYSTEMS[args.system](args), args)}
         _print_rows(rows)
         return 0
+    if args.command == "concurrent":
+        return _run_concurrent(args)
+    if args.command == "perf":
+        from repro.perf.__main__ import run as perf_run
+
+        return perf_run(args)
     if args.command == "compare":
         rows = {
             "d-vmm": _run_one(infiniswap_config(seed=args.seed), args),

@@ -6,6 +6,7 @@ from repro.core.leap import Leap
 from repro.core.majority import majority_candidate, majority_threshold, verified_majority
 from repro.core.prefetch_window import DEFAULT_MAX_WINDOW, PrefetchWindow
 from repro.core.prefetcher import LeapPrefetcher
+from repro.core.sharded_tracker import ShardedLeapTracker
 from repro.core.tracker import IsolatedLeapTracker
 from repro.core.trend import DEFAULT_NSPLIT, find_trend
 
@@ -19,6 +20,7 @@ __all__ = [
     "Leap",
     "LeapPrefetcher",
     "PrefetchWindow",
+    "ShardedLeapTracker",
     "find_trend",
     "majority_candidate",
     "majority_threshold",

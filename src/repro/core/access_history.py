@@ -89,6 +89,20 @@ class AccessHistory:
         """All recorded deltas, newest first (diagnostics / examples)."""
         return self.window(self._count)
 
+    def adopt(self, other: "AccessHistory") -> None:
+        """Merge *other*'s recorded stream into this buffer.
+
+        Replays the source's deltas oldest-first (so relative recency is
+        preserved, bounded by this buffer's capacity) and carries the
+        source's last address so the next recorded access produces a
+        correct delta.  This is the merge half of the split-merge path a
+        per-core shard takes when its process migrates cores.
+        """
+        for delta in reversed(other.snapshot()):
+            self.push_delta(delta)
+        if other.last_address is not None:
+            self._last_address = other.last_address
+
     def raw_slots(self) -> list[int]:
         """The underlying buffer in storage order (Figure 5 layout)."""
         return list(self._slots)

@@ -69,3 +69,14 @@ class PrefetchWindow:
     def reset(self) -> None:
         self._previous_size = 0
         self._cache_hits = 0
+
+    def absorb(self, source: "PrefetchWindow") -> None:
+        """Merge *source*'s learned state (shard migration support).
+
+        Keeps the more aggressive of the two learned sizes — a fresh
+        shard starts from 0 and would otherwise suspend prefetching for
+        the first post-migration faults — and pools the pending hit
+        count so earned growth is not lost.
+        """
+        self._previous_size = max(self._previous_size, source.previous_size)
+        self._cache_hits += source.cache_hits

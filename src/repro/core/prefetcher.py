@@ -54,6 +54,25 @@ class LeapPrefetcher(Prefetcher):
         self._last_trend = None
         self._last_delta = None
 
+    def absorb(self, source: "LeapPrefetcher") -> None:
+        """Merge *source*'s detection state into this prefetcher.
+
+        Used by the per-core sharded tracker when a process migrates:
+        the destination core's shard adopts the source shard's history
+        window, latest trend, and learned prefetch-window size, so an
+        established pattern survives the move.
+        """
+        if source.pid != self.pid:
+            raise ValueError(
+                f"cannot absorb state of pid {source.pid} into pid {self.pid}"
+            )
+        self.history.adopt(source.history)
+        if source._last_trend is not None:
+            self._last_trend = source._last_trend
+        if source._last_delta is not None:
+            self._last_delta = source._last_delta
+        self.window.absorb(source.window)
+
     @property
     def last_trend(self) -> int | None:
         """The most recently detected majority Δ (None before any)."""

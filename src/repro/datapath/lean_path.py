@@ -31,6 +31,7 @@ class LeanLeapPath(DataPath):
     name = "leap-lean"
     hit_median_ns = ns(370)
     hit_sigma = 0.08
+    supports_batching = True
 
     def __init__(
         self,

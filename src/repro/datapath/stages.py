@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.rng import SimRandom
+from repro.sim.rng import DEFAULT_POOL_SIZE, SamplePool, SimRandom
 from repro.sim.units import ns, us
 
 __all__ = [
@@ -39,8 +39,12 @@ __all__ = [
 #: Cost of one page-cache / swap-cache lookup (Figure 1: 0.27 µs).
 CACHE_LOOKUP_NS = ns(270)
 
+#: Pre-drawn samples per stage pool (see
+#: :data:`repro.sim.rng.DEFAULT_POOL_SIZE` for the rationale).
+SAMPLE_POOL_SIZE = DEFAULT_POOL_SIZE
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class StageSample:
     """One sampled traversal of a data path's software stages."""
 
@@ -73,18 +77,32 @@ class StageModel:
         self.queueing_sigma = queueing_sigma
         self.dispatch_median_ns = dispatch_median_ns
         self.dispatch_sigma = dispatch_sigma
+        # Pools are built lazily so a model that only ever reads (or
+        # only ever writes) draws nothing for the unused direction.
+        self._read_pool: SamplePool | None = None
+        self._write_pool: SamplePool | None = None
 
-    def _draw(self, median_ns: int, sigma: float) -> int:
+    def _stage_pool(self, median_ns: int, sigma: float) -> list[int]:
         if median_ns == 0:
-            return 0
-        return self._rng.lognormal_ns(median_ns, sigma)
+            return [0] * SAMPLE_POOL_SIZE
+        return self._rng.lognormal_pool(median_ns, sigma, SAMPLE_POOL_SIZE)
+
+    def _build_pool(self, prep_median_ns: int, queueing_median_ns: int) -> list[StageSample]:
+        preps = self._stage_pool(prep_median_ns, self.prep_sigma)
+        queues = self._stage_pool(queueing_median_ns, self.queueing_sigma)
+        dispatches = self._stage_pool(self.dispatch_median_ns, self.dispatch_sigma)
+        return [
+            StageSample(prep_ns=p, queueing_ns=q, dispatch_ns=d)
+            for p, q, d in zip(preps, queues, dispatches)
+        ]
 
     def sample_read(self) -> StageSample:
-        return StageSample(
-            prep_ns=self._draw(self.prep_median_ns, self.prep_sigma),
-            queueing_ns=self._draw(self.queueing_median_ns, self.queueing_sigma),
-            dispatch_ns=self._draw(self.dispatch_median_ns, self.dispatch_sigma),
-        )
+        pool = self._read_pool
+        if pool is None:
+            pool = self._read_pool = SamplePool(
+                self._build_pool(self.prep_median_ns, self.queueing_median_ns)
+            )
+        return pool.draw()
 
     def sample_write(self) -> StageSample:
         """Write-out stage costs.
@@ -93,11 +111,14 @@ class StageModel:
         share of prep and queueing is lower than for a blocking demand
         read; dispatch is unchanged.
         """
-        return StageSample(
-            prep_ns=self._draw(self.prep_median_ns // 4, self.prep_sigma),
-            queueing_ns=self._draw(self.queueing_median_ns // 4, self.queueing_sigma),
-            dispatch_ns=self._draw(self.dispatch_median_ns, self.dispatch_sigma),
-        )
+        pool = self._write_pool
+        if pool is None:
+            pool = self._write_pool = SamplePool(
+                self._build_pool(
+                    self.prep_median_ns // 4, self.queueing_median_ns // 4
+                )
+            )
+        return pool.draw()
 
 
 def default_legacy_stages(rng: SimRandom) -> StageModel:

@@ -66,6 +66,14 @@ class LRUList(Generic[K, V]):
         """Remove *key*, returning its value or None if absent."""
         return self._entries.pop(key, None)
 
+    def pop(self, key: K, default: V) -> V:
+        """Remove *key*, returning *default* if absent.
+
+        Unlike :meth:`remove`, a caller can pass a sentinel default to
+        distinguish "absent" from a stored value of None in one lookup.
+        """
+        return self._entries.pop(key, default)
+
     def pop_lru(self) -> Optional[tuple[K, V]]:
         """Remove and return the least recently used (key, value)."""
         if not self._entries:
@@ -129,15 +137,16 @@ class ActiveInactiveLRU(Generic[K, V]):
 
     def reference(self, key: K) -> bool:
         """Record a use of *key*; inactive pages are promoted to active."""
-        if key in self._inactive:
-            value = self._inactive.remove(key)
+        value = self._inactive.pop(key, _MISSING)  # type: ignore[arg-type]
+        if value is not _MISSING:
             self._active.add(key, value)  # type: ignore[arg-type]
             return True
         return self._active.touch(key)
 
     def remove(self, key: K) -> Optional[V]:
-        if key in self._inactive:
-            return self._inactive.remove(key)
+        value = self._inactive.pop(key, _MISSING)  # type: ignore[arg-type]
+        if value is not _MISSING:
+            return value  # type: ignore[return-value]
         return self._active.remove(key)
 
     def _rebalance(self) -> None:

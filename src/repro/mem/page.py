@@ -45,7 +45,7 @@ class PageFlags(enum.Flag):
     REFERENCED = enum.auto()
 
 
-@dataclass
+@dataclass(slots=True)
 class Page:
     """Bookkeeping record for one in-memory (or in-flight) page.
 

@@ -32,7 +32,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
     """One cached page plus its lifecycle timestamps."""
 
@@ -88,6 +88,9 @@ class PageCache:
         #: Observer invoked whenever an entry is freed (the VMM uses it
         #: to return the entry's memory charge to the owning cgroup).
         self.on_free = None
+        #: Consumed-but-not-freed entries, maintained incrementally so
+        #: the allocation-wait model can poll it on every single fault.
+        self._consumed_count = 0
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -102,7 +105,7 @@ class PageCache:
 
     def stale_count(self, now: int) -> int:
         """Entries that are dead weight: consumed but not yet freed."""
-        return sum(1 for entry in self.entries.values() if entry.consumed)
+        return self._consumed_count
 
     # -- mutation ----------------------------------------------------------
     def insert(self, page: Page, now: int, prefetched: bool) -> list[CacheEntry]:
@@ -135,6 +138,7 @@ class PageCache:
             raise KeyError(f"page {key} is not cached")
         if entry.consumed_at is None:
             entry.consumed_at = now
+            self._consumed_count += 1
         entry.page.set_flag(PageFlags.REFERENCED)
         self.lru.reference(key)
         if self.policy.free_on_consume:
@@ -145,6 +149,7 @@ class PageCache:
         entry = self.entries.pop(key)
         self.lru.remove(key)
         if entry.consumed_at is not None:
+            self._consumed_count -= 1
             self.stats.evicted_consumed += 1
             self.stats.stale_wait_ns.append(max(0, now - entry.consumed_at))
         else:

@@ -48,6 +48,10 @@ __all__ = ["AccessKind", "AccessOutcome", "ProcessMemory", "VirtualMemoryManager
 MAP_COST_NS = ns(100)
 
 
+class _PrefetchPressure(Exception):
+    """Internal signal: no cache room left for this prefetch round."""
+
+
 class AccessKind(enum.Enum):
     """How an access was served."""
 
@@ -67,7 +71,7 @@ FAULT_KINDS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessOutcome:
     """Result of one page access."""
 
@@ -107,6 +111,7 @@ class VirtualMemoryManager:
         prefetcher: Prefetcher,
         metrics: PrefetchMetrics | None = None,
         recorder: LatencyRecorder | None = None,
+        batch_prefetch: bool = True,
     ) -> None:
         self.data_path = data_path
         self.cache = cache
@@ -114,6 +119,10 @@ class VirtualMemoryManager:
         self.prefetcher = prefetcher
         self.metrics = metrics if metrics is not None else PrefetchMetrics()
         self.recorder = recorder
+        #: Submit a prefetch window through the data path as one sweep
+        #: (one software-stage traversal for the whole window) instead
+        #: of one full traversal per page.
+        self.batch_prefetch = batch_prefetch
         self._processes: dict[int, ProcessMemory] = {}
         self._next_frame = 0
         self.cache.on_free = self._on_cache_free
@@ -271,28 +280,63 @@ class VirtualMemoryManager:
         process.page_table.map_page(vpn, frame=self._next_frame, now=now, dirty=dirty)
         process.resident_lru.add(vpn, None)
 
+    def _admit_prefetch(
+        self, candidate: PageKey, accepted: list[PageKey], now: int
+    ) -> ProcessMemory | None:
+        """Validate one prefetch candidate and charge its cache page.
+
+        Returns the owning process when the candidate should be read,
+        None to skip it, and raises :class:`_PrefetchPressure` (caught
+        by the issue loop) under genuine memory pressure.
+        """
+        cpid, cvpn = candidate
+        target = self._processes.get(cpid)
+        if target is None:
+            return None
+        if not 0 <= cvpn < target.address_space_pages:
+            return None
+        if cvpn not in target.materialized:
+            return None  # no backing copy exists yet
+        if target.page_table.is_resident(cvpn):
+            return None
+        if candidate in self.cache or candidate in accepted:
+            return None
+        if not self._reserve_cache_page(target, now):
+            raise _PrefetchPressure  # stop prefetching this round
+        return target
+
+    def _insert_prefetched(
+        self, candidate: PageKey, target: ProcessMemory, now: int, arrival: int
+    ) -> None:
+        page = Page(key=candidate, arrival_time=arrival, issued_time=now)
+        page.set_flag(PageFlags.PREFETCHED)
+        self.cache.insert(page, now, prefetched=True)
+        target.cache_fifo.append(candidate)
+        self.metrics.record_issue(candidate, now, arrival)
+
     def _issue_prefetches(self, process: ProcessMemory, key: PageKey, now: int) -> None:
+        batching = self.batch_prefetch and self.data_path.supports_batching
+        accepted: list[PageKey] = []
+        targets: list[ProcessMemory] = []
         for candidate in self.prefetcher.candidates(key, now):
-            cpid, cvpn = candidate
-            target = self._processes.get(cpid)
+            try:
+                target = self._admit_prefetch(candidate, accepted, now)
+            except _PrefetchPressure:
+                break
             if target is None:
                 continue
-            if not 0 <= cvpn < target.address_space_pages:
+            if batching:
+                # Collect the window; one submission sweep at the end.
+                accepted.append(candidate)
+                targets.append(target)
                 continue
-            if cvpn not in target.materialized:
-                continue  # no backing copy exists yet
-            if target.page_table.is_resident(cvpn):
-                continue
-            if candidate in self.cache:
-                continue
-            if not self._reserve_cache_page(target, now):
-                break  # genuine memory pressure: stop prefetching
             arrival = self.data_path.async_read(candidate, now, process.core)
-            page = Page(key=candidate, arrival_time=arrival, issued_time=now)
-            page.set_flag(PageFlags.PREFETCHED)
-            self.cache.insert(page, now, prefetched=True)
-            target.cache_fifo.append(candidate)
-            self.metrics.record_issue(candidate, now, arrival)
+            self._insert_prefetched(candidate, target, now, arrival)
+        if not accepted:
+            return
+        arrivals = self.data_path.async_read_batch(accepted, now, process.core)
+        for candidate, target, arrival in zip(accepted, targets, arrivals):
+            self._insert_prefetched(candidate, target, now, arrival)
 
     def _record(self, outcome: AccessOutcome) -> AccessOutcome:
         if self.recorder is not None and outcome.kind in FAULT_KINDS:

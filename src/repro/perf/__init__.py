@@ -1,0 +1,41 @@
+"""Performance artifacts and the CI perf gate.
+
+Every serious run of the concurrent engine can leave a machine-readable
+trace of how fast it was: a ``BENCH_<name>.json`` artifact with
+p50/p95/p99 fault latency, completion time, and fault counts per
+application, plus the host wall-clock of the run.  CI runs a
+scaled-down Figure 13 profile on every push and compares it against the
+committed baseline (``BENCH_fig13_baseline.json``); a regression past
+the budget in ``PERF_BUDGETS.md`` fails the build.
+
+Two kinds of numbers live in an artifact, with different stability:
+
+* **simulated** metrics (latency percentiles, completion seconds,
+  fault counts) are deterministic for a fixed seed — any drift is a
+  real behavioural change, so the gate's budget is headroom for
+  *intentional* changes, not for noise;
+* **host** wall-clock varies with the runner and is recorded for
+  trend-watching but never gated.
+"""
+
+from repro.perf.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    GateViolation,
+    artifact_path,
+    compare_artifacts,
+    load_artifact,
+    write_artifact,
+)
+from repro.perf.profile import fig13_profile, percentiles_us, profile_concurrent
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "GateViolation",
+    "artifact_path",
+    "compare_artifacts",
+    "fig13_profile",
+    "load_artifact",
+    "percentiles_us",
+    "profile_concurrent",
+    "write_artifact",
+]

@@ -1,0 +1,97 @@
+"""CI perf-gate entry point: ``python -m repro.perf``.
+
+Runs the scaled-down Figure 13 profile through the concurrent engine,
+writes ``BENCH_fig13.json``, and — when ``--baseline`` is given —
+fails (exit 1) if any gated metric regressed past the budget.  See
+PERF_BUDGETS.md for the budget and the waiver policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.artifacts import (
+    DEFAULT_GATED_METRICS,
+    compare_artifacts,
+    load_artifact,
+    write_artifact,
+)
+from repro.perf.profile import fig13_profile
+
+
+def add_perf_arguments(parser: argparse.ArgumentParser) -> None:
+    """Declare the perf-gate options (single authority for defaults).
+
+    The main ``repro`` CLI attaches these to its ``perf`` subcommand,
+    so ``repro perf`` and ``python -m repro.perf`` can never drift.
+    """
+    parser.add_argument("--out", default=".", help="directory for BENCH_fig13.json")
+    parser.add_argument("--baseline", help="baseline artifact to gate against")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed relative regression per gated metric (default 0.20)",
+    )
+    parser.add_argument("--wss-pages", type=int, default=2048)
+    parser.add_argument("--accesses", type=int, default=8000)
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf",
+        description="Emit a BENCH_fig13.json perf artifact and optionally "
+        "gate it against a committed baseline.",
+    )
+    add_perf_arguments(parser)
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute the perf profile + gate for a parsed namespace."""
+    artifact, _ = fig13_profile(
+        wss_pages=args.wss_pages,
+        accesses=args.accesses,
+        seed=args.seed,
+        cores=args.cores,
+    )
+    path = write_artifact(artifact, args.out)
+    print(f"wrote {path}")
+    for name, row in sorted(artifact["apps"].items()):
+        print(
+            f"  {name:<12} p50 {row['p50_us']:8.2f} us   p95 {row['p95_us']:8.2f} us   "
+            f"p99 {row['p99_us']:8.2f} us   completion {row['completion_s']:.3f} s"
+        )
+    if args.baseline is None:
+        return 0
+    try:
+        baseline = load_artifact(args.baseline)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load baseline {args.baseline}: {error}")
+        return 1
+    violations = compare_artifacts(
+        artifact, baseline, max_regression=args.max_regression
+    )
+    if violations:
+        print(
+            f"PERF GATE FAILED ({len(violations)} violation(s), "
+            f"gated metrics: {', '.join(DEFAULT_GATED_METRICS)}):"
+        )
+        for violation in violations:
+            print(f"  {violation}")
+        print("If the regression is intentional, update the baseline artifact")
+        print("and justify it in the PR (see PERF_BUDGETS.md).")
+        return 1
+    print(f"perf gate OK (within {args.max_regression:.0%} of baseline)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

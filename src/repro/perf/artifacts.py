@@ -1,0 +1,134 @@
+"""Reading, writing, and gating ``BENCH_*.json`` perf artifacts.
+
+An artifact is plain JSON so CI can diff it and humans can read it:
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "bench": "fig13",
+      "engine": "concurrent",
+      "config": {"seed": 42, "cores": 4, "wss_pages": 2048, "accesses": 8000},
+      "wall_clock_s": 1.87,
+      "apps": {
+        "powergraph": {
+          "p50_us": 2.1, "p95_us": 9.8, "p99_us": 14.2,
+          "completion_s": 0.61, "faults": 7421, "core_wait_ms": 12.0
+        }
+      }
+    }
+
+``compare_artifacts`` implements the gate: for every app in the
+baseline, each gated metric may exceed its baseline value by at most
+``max_regression`` (relative).  Improvements never fail the gate, and
+``wall_clock_s`` is deliberately not a gated metric (host-dependent).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "DEFAULT_GATED_METRICS",
+    "GateViolation",
+    "artifact_path",
+    "compare_artifacts",
+    "load_artifact",
+    "write_artifact",
+]
+
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Simulated (deterministic) per-app metrics the gate checks by default.
+DEFAULT_GATED_METRICS = ("p95_us", "completion_s")
+
+
+@dataclass(frozen=True)
+class GateViolation:
+    """One metric that regressed past the budget."""
+
+    app: str
+    metric: str
+    baseline: float
+    current: float
+    max_regression: float
+
+    @property
+    def regression(self) -> float:
+        if self.baseline == 0:
+            return float("inf")
+        return self.current / self.baseline - 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.app}.{self.metric}: {self.baseline:.4g} -> {self.current:.4g} "
+            f"(+{self.regression:.1%}, budget {self.max_regression:.0%})"
+        )
+
+
+def artifact_path(out_dir: str | Path, bench: str) -> Path:
+    return Path(out_dir) / f"BENCH_{bench}.json"
+
+
+def write_artifact(artifact: dict, out_dir: str | Path = ".") -> Path:
+    """Write *artifact* as ``BENCH_<bench>.json`` under *out_dir*."""
+    bench = artifact.get("bench")
+    if not bench:
+        raise ValueError("artifact needs a 'bench' name")
+    path = artifact_path(out_dir, bench)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: str | Path) -> dict:
+    artifact = json.loads(Path(path).read_text())
+    schema = artifact.get("schema")
+    if schema != ARTIFACT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: artifact schema {schema!r} != {ARTIFACT_SCHEMA_VERSION} "
+            f"(regenerate the baseline)"
+        )
+    return artifact
+
+
+def compare_artifacts(
+    current: dict,
+    baseline: dict,
+    max_regression: float = 0.20,
+    metrics: Iterable[str] = DEFAULT_GATED_METRICS,
+) -> list[GateViolation]:
+    """Check *current* against *baseline*; returns all budget violations.
+
+    Every app present in the baseline must exist in the current
+    artifact (a vanished app is reported as an infinite regression on
+    each gated metric).  Apps only present in the current artifact are
+    ignored — adding coverage is never a regression.
+    """
+    if not 0.0 <= max_regression:
+        raise ValueError(f"max_regression must be >= 0, got {max_regression}")
+    violations: list[GateViolation] = []
+    metrics = tuple(metrics)
+    for app, base_row in baseline.get("apps", {}).items():
+        current_row = current.get("apps", {}).get(app)
+        for metric in metrics:
+            base_value = base_row.get(metric)
+            if base_value is None:
+                continue
+            value = None if current_row is None else current_row.get(metric)
+            if value is None:
+                violations.append(
+                    GateViolation(app, metric, base_value, float("inf"), max_regression)
+                )
+                continue
+            if base_value <= 0:
+                continue  # nothing meaningful to compare against
+            if value > base_value * (1.0 + max_regression):
+                violations.append(
+                    GateViolation(app, metric, base_value, value, max_regression)
+                )
+    return violations

@@ -1,0 +1,120 @@
+"""Profiling entry points: turn a concurrent run into a perf artifact.
+
+``fig13_profile`` is what CI's perf gate runs: the four paper
+applications on the Leap stack through the concurrent engine, at a
+scale small enough for a smoke job, reduced to per-app p50/p95/p99
+fault latencies, completion times, and fault counts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.metrics.latency import percentile
+from repro.perf.artifacts import ARTIFACT_SCHEMA_VERSION
+from repro.sim.run import RunResult
+
+__all__ = ["percentiles_us", "profile_concurrent", "fig13_profile"]
+
+
+def percentiles_us(samples: list[int]) -> dict[str, float]:
+    """p50/p95/p99 of nanosecond samples, reported in microseconds."""
+    if not samples:
+        return {"p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0}
+    return {
+        "p50_us": percentile(samples, 50) / 1e3,
+        "p95_us": percentile(samples, 95) / 1e3,
+        "p99_us": percentile(samples, 99) / 1e3,
+    }
+
+
+def profile_concurrent(
+    result: RunResult,
+    app_names: Mapping[int, str],
+    bench: str,
+    config: dict | None = None,
+    wall_clock_s: float | None = None,
+) -> dict:
+    """Reduce a (concurrent) run to a ``BENCH_*.json``-shaped artifact."""
+    apps: dict[str, dict] = {}
+    for pid, name in app_names.items():
+        summary = result.processes[pid]
+        row = percentiles_us(summary.fault_latencies)
+        row.update(
+            completion_s=round(summary.completion_seconds, 6),
+            faults=len(summary.fault_latencies),
+            accesses=summary.accesses,
+            core_wait_ms=round(summary.core_wait_ns / 1e6, 3),
+            migrations=summary.migrations,
+        )
+        apps[name] = row
+    artifact: dict = {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "bench": bench,
+        "engine": "concurrent",
+        "config": dict(config or {}),
+        "apps": apps,
+    }
+    if wall_clock_s is not None:
+        artifact["wall_clock_s"] = round(wall_clock_s, 3)
+    cores = getattr(result, "cores", None)
+    if cores:
+        makespan = result.makespan_ns
+        artifact["cores"] = {
+            str(core_id): {
+                "busy_ns": summary.busy_ns,
+                "accesses": summary.accesses,
+                "utilization": round(summary.utilization(makespan), 4),
+            }
+            for core_id, summary in cores.items()
+        }
+        artifact["migrations"] = getattr(result, "migrations", 0)
+    return artifact
+
+
+def fig13_profile(
+    wss_pages: int = 2048,
+    accesses: int = 8000,
+    seed: int = 42,
+    cores: int = 4,
+    memory_fraction: float = 0.5,
+) -> tuple[dict, RunResult]:
+    """Run the Figure 13 mix on the Leap stack; return (artifact, result).
+
+    The defaults are the CI smoke scale — a few seconds of wall clock —
+    not the full benchmark scale used by ``benchmarks/``.
+    """
+    # Imported here so `repro.perf` stays importable without dragging
+    # the whole workload/bench stack in at module load.
+    from repro.bench.runner import BenchScale
+    from repro.bench.prefetch import application_workloads
+    from repro.sim.machine import Machine, leap_config
+
+    scale = BenchScale(wss_pages=wss_pages, accesses=accesses, seed=seed)
+    machine = Machine(leap_config(seed=seed))
+    pids = {"powergraph": 1, "numpy": 2, "voltdb": 3, "memcached": 4}
+    workloads = {
+        pids[name]: workload
+        for name, workload in application_workloads(scale).items()
+    }
+    started = time.perf_counter()
+    result = machine.run_concurrent(
+        workloads, cores=cores, memory_fraction=memory_fraction
+    )
+    wall_clock_s = time.perf_counter() - started
+    artifact = profile_concurrent(
+        result,
+        {pid: name for name, pid in pids.items()},
+        bench="fig13",
+        config={
+            "seed": seed,
+            "cores": cores,
+            "wss_pages": wss_pages,
+            "accesses": accesses,
+            "memory_fraction": memory_fraction,
+            "system": "d-vmm+leap",
+        },
+        wall_clock_s=wall_clock_s,
+    )
+    return artifact, result

@@ -47,6 +47,14 @@ class Prefetcher(abc.ABC):
     def on_prefetch_hit(self, key: PageKey, now: int) -> None:
         """Feedback: a page prefetched earlier was consumed."""
 
+    def on_process_placed(self, pid: int, core: int) -> None:
+        """A process was registered and pinned to *core* (no-op unless
+        the prefetcher shards its state per core)."""
+
+    def on_process_migrated(self, pid: int, old_core: int, new_core: int) -> None:
+        """The scheduler moved *pid* between cores; per-core sharded
+        prefetchers split/merge their tracking state here."""
+
     def reset(self) -> None:
         """Drop learned state (used between warmup and measurement)."""
 

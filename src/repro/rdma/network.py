@@ -11,7 +11,7 @@ change to this model.
 
 from __future__ import annotations
 
-from repro.sim.rng import SimRandom
+from repro.sim.rng import DEFAULT_POOL_SIZE, SamplePool, SimRandom
 from repro.sim.units import PAGE_SIZE, ns, us
 
 __all__ = ["RdmaFabric"]
@@ -40,6 +40,8 @@ class RdmaFabric:
         self.sigma = sigma
         self.bandwidth_gbps = bandwidth_gbps
         self.per_op_cpu_ns = per_op_cpu_ns
+        self._service_cache: dict[int, int] = {}
+        self._latency_pools: dict[int, SamplePool] = {}
 
     def wire_time_ns(self, size_bytes: int = PAGE_SIZE) -> int:
         """Serialization time of *size_bytes* on the wire."""
@@ -48,7 +50,11 @@ class RdmaFabric:
 
     def service_time_ns(self, size_bytes: int = PAGE_SIZE) -> int:
         """Time an op occupies a dispatch queue (wire + per-op CPU)."""
-        return self.wire_time_ns(size_bytes) + self.per_op_cpu_ns
+        service = self._service_cache.get(size_bytes)
+        if service is None:
+            service = self.wire_time_ns(size_bytes) + self.per_op_cpu_ns
+            self._service_cache[size_bytes] = service
+        return service
 
     def fabric_latency_ns(self, size_bytes: int = PAGE_SIZE) -> int:
         """Pipelined remainder of the end-to-end latency.
@@ -56,8 +62,16 @@ class RdmaFabric:
         Drawn so that ``service + fabric`` has the configured 4.3 µs
         median with a modest log-normal tail (RDMA is far more
         predictable than disk, but not constant — §2.2 notes single-µs
-        latency is "often wishful thinking in practice").
+        latency is "often wishful thinking in practice").  Draws cycle
+        through a pre-computed pool (see
+        :data:`repro.datapath.stages.SAMPLE_POOL_SIZE`) so the fault
+        hot loop pays an index increment, not an ``exp``/``gauss``.
         """
-        service = self.service_time_ns(size_bytes)
-        remainder_median = max(1, self.median_ns - service)
-        return self._rng.lognormal_ns(remainder_median, self.sigma)
+        pool = self._latency_pools.get(size_bytes)
+        if pool is None:
+            service = self.service_time_ns(size_bytes)
+            remainder_median = max(1, self.median_ns - service)
+            pool = self._latency_pools[size_bytes] = SamplePool(
+                self._rng.lognormal_pool(remainder_median, self.sigma, DEFAULT_POOL_SIZE)
+            )
+        return pool.draw()

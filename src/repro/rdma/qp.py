@@ -17,7 +17,7 @@ from dataclasses import dataclass
 __all__ = ["DispatchQueue", "QueueStats", "Submission"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Submission:
     """Timing of one operation through a dispatch queue."""
 

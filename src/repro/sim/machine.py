@@ -21,9 +21,9 @@ so any configuration is exactly reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
-from repro.core.tracker import IsolatedLeapTracker
+from repro.core.sharded_tracker import ShardedLeapTracker
 from repro.datapath.backends import DiskBackend, IOBackend, RemoteBackend
 from repro.datapath.base import DataPath
 from repro.datapath.block_layer import LegacyBlockPath
@@ -75,6 +75,10 @@ class MachineConfig:
     history_size: int = 32
     n_split: int = 2
     max_prefetch_window: int = 8
+    #: Submit each prefetch window through the data path as one batched
+    #: sweep (one software-stage traversal per window) instead of one
+    #: full traversal per page.
+    batch_prefetch: bool = True
     readahead_window: int = 8
     next_n_lines: int = 8
     stride_max_degree: int = 8
@@ -143,6 +147,7 @@ class Machine:
             prefetcher=self.prefetcher,
             metrics=self.metrics,
             recorder=self.recorder,
+            batch_prefetch=config.batch_prefetch,
         )
         self._next_core = 0
 
@@ -179,7 +184,7 @@ class Machine:
         if config.prefetcher == "none":
             return NoopPrefetcher()
         if config.prefetcher == "leap":
-            return IsolatedLeapTracker(
+            return ShardedLeapTracker(
                 history_size=config.history_size,
                 n_split=config.n_split,
                 max_window=config.max_prefetch_window,
@@ -193,16 +198,70 @@ class Machine:
         raise ValueError(f"unknown prefetcher {config.prefetcher!r}")
 
     # -- process management -------------------------------------------------
-    def add_process(self, pid: int, wss_pages: int, limit_pages: int) -> ProcessMemory:
+    def add_process(
+        self, pid: int, wss_pages: int, limit_pages: int, core: int | None = None
+    ) -> ProcessMemory:
         """Register a process with *wss_pages* of address space and a
-        cgroup limit of *limit_pages* resident pages."""
-        core = self._next_core % self.config.n_cores
-        self._next_core += 1
-        return self.vmm.register_process(
+        cgroup limit of *limit_pages* resident pages.
+
+        Without an explicit *core* the process is pinned round-robin
+        across the machine's cores.
+        """
+        if core is None:
+            core = self._next_core % self.config.n_cores
+            self._next_core += 1
+        process = self.vmm.register_process(
             pid,
             limit_pages=limit_pages,
             address_space_pages=wss_pages,
             core=core,
+        )
+        self.prefetcher.on_process_placed(pid, core)
+        return process
+
+    def migrate_process(self, pid: int, new_core: int) -> None:
+        """Move *pid* to *new_core*: reroutes its dispatch-queue traffic
+        and split-merges any per-core sharded prefetcher state."""
+        if not 0 <= new_core < self.config.n_cores:
+            raise ValueError(
+                f"core {new_core} outside this machine's {self.config.n_cores} cores"
+            )
+        process = self.vmm.process(pid)
+        old_core = process.core
+        if old_core == new_core:
+            return
+        process.core = new_core
+        self.prefetcher.on_process_migrated(pid, old_core, new_core)
+
+    # -- execution -----------------------------------------------------------
+    def run_concurrent(
+        self,
+        workloads,
+        cores: int | None = None,
+        memory_fraction: float = 0.5,
+        warmup: bool = True,
+        max_total_accesses: int | None = None,
+        allow_migration: bool = True,
+    ):
+        """Run *workloads* (pid → workload) concurrently across *cores*.
+
+        The multi-tenant entry point (Figure 13): every process gets a
+        ``memory_fraction`` cgroup limit and a home core, and the
+        event-driven scheduler interleaves them against this machine's
+        one page cache, backend, and fabric — with core contention and
+        (optionally) migration.  See
+        :func:`repro.sim.scheduler.simulate_concurrent`.
+        """
+        from repro.sim.scheduler import simulate_concurrent
+
+        return simulate_concurrent(
+            self,
+            workloads,
+            cores=cores,
+            memory_fraction=memory_fraction,
+            warmup=warmup,
+            max_total_accesses=max_total_accesses,
+            allow_migration=allow_migration,
         )
 
     # -- measurement management ------------------------------------------------

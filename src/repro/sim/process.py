@@ -14,13 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.mem.vmm import AccessKind, VirtualMemoryManager
+from repro.mem.vmm import FAULT_KINDS, AccessKind, VirtualMemoryManager
 from repro.sim.clock import VirtualClock
 
 __all__ = ["PageAccess", "ProcessDriver"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageAccess:
     """One memory touch: which page, read or write, compute before it."""
 
@@ -46,6 +46,14 @@ class ProcessDriver:
         self.accesses = 0
         self.kind_counts: dict[AccessKind, int] = {kind: 0 for kind in AccessKind}
         self.total_fault_latency_ns = 0
+        #: Per-access latency of every remote/backing-store fault, in
+        #: nanoseconds — the per-process population behind the paper's
+        #: latency CDFs, and what :mod:`repro.perf` summarizes per app.
+        self.fault_latencies: list[int] = []
+        #: Time spent waiting for a busy core (concurrent engine only).
+        self.core_wait_ns = 0
+        #: Core migrations the scheduler performed on this process.
+        self.migrations = 0
 
     @property
     def done(self) -> bool:
@@ -73,4 +81,6 @@ class ProcessDriver:
         self.kind_counts[outcome.kind] += 1
         if outcome.kind is not AccessKind.RESIDENT:
             self.total_fault_latency_ns += outcome.latency_ns
+            if outcome.kind in FAULT_KINDS:
+                self.fault_latencies.append(outcome.latency_ns)
         return True

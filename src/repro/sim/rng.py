@@ -19,6 +19,43 @@ import random
 from typing import Sequence
 
 
+#: Default batch size for pre-drawn sample pools (see
+#: :meth:`SimRandom.lognormal_pool`).  1024 i.i.d. draws preserve the
+#: medians and tails the paper's figures assert on while letting hot
+#: loops replace per-event ``exp``/``gauss`` with an index increment.
+DEFAULT_POOL_SIZE = 1024
+
+
+class SamplePool:
+    """A pre-drawn batch of samples consumed round-robin.
+
+    Hot latency models draw their batch once (deterministically, from
+    a labelled stream) and then cycle through it; ``draw()`` costs an
+    index increment instead of an ``exp``/``gauss`` per event.
+    """
+
+    __slots__ = ("_values", "_index")
+
+    def __init__(self, values: list) -> None:
+        if not values:
+            raise ValueError("sample pool cannot be empty")
+        self._values = values
+        self._index = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def position(self) -> int:
+        """Samples consumed since the last wrap (diagnostics/tests)."""
+        return self._index
+
+    def draw(self):
+        index = self._index
+        self._index = index + 1 if index + 1 < len(self._values) else 0
+        return self._values[index]
+
+
 def derive_seed(root_seed: int, label: str) -> int:
     """Derive a child seed from *root_seed* and a stable *label*."""
     digest = hashlib.sha256(f"{root_seed}:{label}".encode("utf-8")).digest()
@@ -110,6 +147,24 @@ class SimRandom:
             raise ValueError(f"median must be positive, got {median_ns}")
         value = math.exp(math.log(median_ns) + sigma * self._rng.gauss(0.0, 1.0))
         return max(1, int(round(value)))
+
+    def lognormal_pool(self, median_ns: int, sigma: float, size: int) -> list[int]:
+        """Pre-draw *size* log-normal samples in one batch.
+
+        Hot latency models cycle through a pooled batch instead of
+        paying ``exp``/``gauss`` per event; the pool is drawn from this
+        stream at build time, so runs stay exactly reproducible.
+        """
+        if size <= 0:
+            raise ValueError(f"pool size must be positive, got {size}")
+        if sigma == 0.0:
+            return [max(1, int(median_ns))] * size
+        log_median = math.log(median_ns)
+        gauss = self._rng.gauss
+        return [
+            max(1, int(round(math.exp(log_median + sigma * gauss(0.0, 1.0)))))
+            for _ in range(size)
+        ]
 
     def zipf(self, n_items: int, skew: float) -> int:
         """Draw an item index in ``[0, n_items)`` with Zipfian popularity."""

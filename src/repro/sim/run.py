@@ -16,7 +16,7 @@ depend on.  Measurements are normally reset after warmup.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.mem.vmm import AccessKind
@@ -24,7 +24,14 @@ from repro.sim.machine import Machine
 from repro.sim.process import PageAccess, ProcessDriver
 from repro.sim.units import NS_PER_SEC, to_seconds
 
-__all__ = ["RunResult", "run_processes", "warmup_process", "sequential_touch"]
+__all__ = [
+    "ProcessSummary",
+    "RunResult",
+    "run_processes",
+    "summarize_driver",
+    "warmup_process",
+    "sequential_touch",
+]
 
 
 @dataclass
@@ -36,6 +43,12 @@ class ProcessSummary:
     completion_ns: int
     kind_counts: dict[AccessKind, int]
     total_fault_latency_ns: int
+    #: Per-fault latency samples (ns), for per-process percentiles.
+    fault_latencies: list[int] = field(default_factory=list, repr=False)
+    #: Time spent waiting for a busy core (concurrent engine only).
+    core_wait_ns: int = 0
+    #: Core migrations performed on this process.
+    migrations: int = 0
 
     @property
     def completion_seconds(self) -> float:
@@ -121,14 +134,19 @@ def run_processes(
                 leftover.finished_ns = leftover.clock.now
             break
         heapq.heappush(heap, (driver.clock.now, index, driver))
-    summaries = {
-        driver.pid: ProcessSummary(
-            pid=driver.pid,
-            accesses=driver.accesses,
-            completion_ns=driver.completion_ns,
-            kind_counts=dict(driver.kind_counts),
-            total_fault_latency_ns=driver.total_fault_latency_ns,
-        )
-        for driver in all_drivers
-    }
+    summaries = {driver.pid: summarize_driver(driver) for driver in all_drivers}
     return RunResult(machine=machine, processes=summaries)
+
+
+def summarize_driver(driver: ProcessDriver) -> ProcessSummary:
+    """Reduce a finished driver to its :class:`ProcessSummary`."""
+    return ProcessSummary(
+        pid=driver.pid,
+        accesses=driver.accesses,
+        completion_ns=driver.completion_ns,
+        kind_counts=dict(driver.kind_counts),
+        total_fault_latency_ns=driver.total_fault_latency_ns,
+        fault_latencies=driver.fault_latencies,
+        core_wait_ns=driver.core_wait_ns,
+        migrations=driver.migrations,
+    )

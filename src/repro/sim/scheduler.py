@@ -1,0 +1,286 @@
+"""Event-driven concurrent scheduler: N processes across M cores.
+
+The paper's multi-tenant result (Figure 13) needs more than interleaved
+traces: applications compete for *cores* as well as for the fabric, and
+Leap's per-process-per-core isolation (§4.1) only matters when the
+scheduler can actually migrate a process between cores.  This module
+replaces the serialized per-app loop with a shared event loop:
+
+* every process is an event source; the heap orders events by the time
+  a process becomes ready to issue its next access;
+* each core is a single server: an access (think time plus whatever
+  the VMM charges for the touch) *occupies* the process's core, so
+  co-located processes contend and their completion times stretch;
+* when a process has waited longer than ``migration_threshold_ns`` for
+  its busy core while another core sits idle, the scheduler migrates it
+  — paying ``migration_cost_ns`` for the cache/TLB refill — and the
+  machine split-merges any per-core sharded prefetcher state
+  (:class:`~repro.core.sharded_tracker.ShardedLeapTracker`).
+
+Everything is driven by the deterministic (time, sequence) heap order,
+so a fixed seed reproduces the exact same schedule, migrations
+included.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.sim.process import ProcessDriver
+from repro.sim.run import ProcessSummary, RunResult, summarize_driver, warmup_process
+from repro.sim.units import ms, us
+
+__all__ = [
+    "CoreSummary",
+    "ConcurrentRunResult",
+    "ConcurrentScheduler",
+    "simulate_concurrent",
+]
+
+#: Default imbalance a process tolerates before migrating cores.
+DEFAULT_MIGRATION_THRESHOLD_NS = ms(1)
+#: Cache/TLB refill charged to a process when it changes cores.
+DEFAULT_MIGRATION_COST_NS = us(50)
+#: Minimum time between two migrations of the same process.
+DEFAULT_MIGRATION_INTERVAL_NS = ms(10)
+
+
+@dataclass(slots=True)
+class _Core:
+    """One simulated core: a single server for process execution."""
+
+    core_id: int
+    busy_until: int = 0
+    busy_ns: int = 0
+    accesses: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CoreSummary:
+    """Occupancy of one core over a concurrent run."""
+
+    core_id: int
+    busy_ns: int
+    accesses: int
+
+    def utilization(self, makespan_ns: int) -> float:
+        if makespan_ns <= 0:
+            return 0.0
+        return self.busy_ns / makespan_ns
+
+
+@dataclass
+class ConcurrentRunResult(RunResult):
+    """A :class:`RunResult` plus the scheduler's core-level view."""
+
+    cores: dict[int, CoreSummary] = field(default_factory=dict)
+    migrations: int = 0
+
+    @property
+    def total_core_wait_ns(self) -> int:
+        return sum(summary.core_wait_ns for summary in self.processes.values())
+
+
+class ConcurrentScheduler:
+    """Shared event loop interleaving process drivers across cores."""
+
+    def __init__(
+        self,
+        machine,
+        drivers: Iterable[ProcessDriver],
+        cores: int | None = None,
+        migration_threshold_ns: int = DEFAULT_MIGRATION_THRESHOLD_NS,
+        migration_cost_ns: int = DEFAULT_MIGRATION_COST_NS,
+        migration_interval_ns: int = DEFAULT_MIGRATION_INTERVAL_NS,
+        allow_migration: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.drivers = list(drivers)
+        n_cores = cores if cores is not None else machine.config.n_cores
+        if n_cores < 1:
+            raise ValueError(f"need at least one core, got {n_cores}")
+        if n_cores > machine.config.n_cores:
+            raise ValueError(
+                f"cannot schedule {n_cores} cores on a machine configured "
+                f"with {machine.config.n_cores}; raise MachineConfig.n_cores"
+            )
+        self.cores = [_Core(core_id) for core_id in range(n_cores)]
+        self.migration_threshold_ns = migration_threshold_ns
+        self.migration_cost_ns = migration_cost_ns
+        self.migration_interval_ns = migration_interval_ns
+        self.allow_migration = allow_migration
+        self.migrations = 0
+        self._last_migration: dict[int, int] = {}
+        #: Wait accumulated per pid since its last migration decision;
+        #: a single wait is bounded by one access (a core is never more
+        #: than one access ahead), so the migration signal has to be
+        #: the *sustained* wait, not any single one.
+        self._wait_accum: dict[int, int] = {}
+        for driver in self.drivers:
+            process = machine.vmm.process(driver.pid)
+            if not 0 <= process.core < n_cores:
+                # A process registered against more cores than the
+                # scheduler runs with is folded onto the schedulable set.
+                machine.migrate_process(driver.pid, process.core % n_cores)
+
+    def _pick_idlest_core(self) -> _Core:
+        best = self.cores[0]
+        for core in self.cores[1:]:
+            if core.busy_until < best.busy_until:
+                best = core
+        return best
+
+    def _maybe_migrate(self, driver: ProcessDriver, core: _Core, now: int) -> _Core:
+        """Decide whether *driver* should abandon its busy home core."""
+        if not self.allow_migration or len(self.cores) == 1:
+            return core
+        pid = driver.pid
+        waited = self._wait_accum.get(pid, 0) + (core.busy_until - now)
+        self._wait_accum[pid] = waited
+        if waited <= self.migration_threshold_ns:
+            return core
+        if now - self._last_migration.get(pid, -self.migration_interval_ns) < (
+            self.migration_interval_ns
+        ):
+            return core
+        best = self._pick_idlest_core()
+        # Only move to a core that is idle *now* and stays cheaper even
+        # after the migration cost — migrating onto another busy core
+        # just ping-pongs the process without running it.
+        if best.core_id == core.core_id:
+            return core
+        if best.busy_until > now:
+            return core
+        if now + self.migration_cost_ns >= core.busy_until:
+            return core
+        self.machine.migrate_process(pid, best.core_id)
+        self._last_migration[pid] = now
+        self._wait_accum[pid] = 0
+        driver.migrations += 1
+        self.migrations += 1
+        # The wait served so far is core wait; the migration cost is
+        # then paid in real time from *now*, so the driver can never be
+        # re-queued into the past and the wait is never silently
+        # absorbed into the cost.
+        waited = now - driver.clock.now
+        if waited > 0:
+            driver.core_wait_ns += waited
+        driver.clock.advance_to(now)
+        driver.clock.advance(self.migration_cost_ns)
+        return best
+
+    def run(self, max_total_accesses: int | None = None) -> ConcurrentRunResult:
+        """Run every driver to completion (or to the access budget)."""
+        heap: list[tuple[int, int, ProcessDriver]] = []
+        for index, driver in enumerate(self.drivers):
+            heapq.heappush(heap, (driver.clock.now, index, driver))
+        vmm = self.machine.vmm
+        executed = 0
+        while heap:
+            now, index, driver = heapq.heappop(heap)
+            if driver.done:
+                continue
+            process = vmm.process(driver.pid)
+            core = self.cores[process.core]
+            if core.busy_until > now:
+                core = self._maybe_migrate(driver, core, now)
+                if core.busy_until > driver.clock.now:
+                    # Still waiting: sleep until the core frees up.
+                    heapq.heappush(heap, (core.busy_until, index, driver))
+                    continue
+            start = max(now, driver.clock.now)
+            waited = start - driver.clock.now
+            if waited:
+                driver.core_wait_ns += waited
+                driver.clock.advance_to(start)
+            progressed = driver.step(vmm)
+            if not progressed:
+                continue
+            end = driver.clock.now
+            core.busy_until = end
+            core.busy_ns += end - start
+            core.accesses += 1
+            executed += 1
+            if max_total_accesses is not None and executed >= max_total_accesses:
+                driver.finished_ns = driver.clock.now
+                for _, _, leftover in heap:
+                    if not leftover.done:
+                        leftover.finished_ns = leftover.clock.now
+                break
+            heapq.heappush(heap, (end, index, driver))
+        summaries: dict[int, ProcessSummary] = {
+            driver.pid: summarize_driver(driver) for driver in self.drivers
+        }
+        return ConcurrentRunResult(
+            machine=self.machine,
+            processes=summaries,
+            cores={
+                core.core_id: CoreSummary(
+                    core_id=core.core_id,
+                    busy_ns=core.busy_ns,
+                    accesses=core.accesses,
+                )
+                for core in self.cores
+            },
+            migrations=self.migrations,
+        )
+
+
+def simulate_concurrent(
+    machine,
+    workloads: Mapping[int, object],
+    cores: int | None = None,
+    memory_fraction: float = 0.5,
+    warmup: bool = True,
+    max_total_accesses: int | None = None,
+    migration_threshold_ns: int = DEFAULT_MIGRATION_THRESHOLD_NS,
+    migration_cost_ns: int = DEFAULT_MIGRATION_COST_NS,
+    allow_migration: bool = True,
+) -> ConcurrentRunResult:
+    """Wire *workloads* onto *machine* and run them concurrently.
+
+    The concurrent counterpart of :func:`repro.sim.simulate.simulate`:
+    each process gets a cgroup limit of ``memory_fraction`` of its
+    working set and a home core assigned round-robin over ``cores``
+    (default: the machine's core count); working sets are materialized
+    by a serialized warmup pass, measurements reset, and the measured
+    phase runs through the :class:`ConcurrentScheduler`.
+    """
+    if not workloads:
+        raise ValueError("need at least one workload")
+    if not 0.0 < memory_fraction <= 1.0:
+        raise ValueError(f"memory_fraction must be in (0, 1], got {memory_fraction}")
+    n_cores = cores if cores is not None else machine.config.n_cores
+    if not 1 <= n_cores <= machine.config.n_cores:
+        raise ValueError(
+            f"cores must be in [1, {machine.config.n_cores}], got {n_cores}"
+        )
+    for slot, (pid, workload) in enumerate(workloads.items()):
+        limit = max(2, int(workload.wss_pages * memory_fraction))
+        machine.add_process(
+            pid,
+            wss_pages=workload.wss_pages,
+            limit_pages=limit,
+            core=slot % n_cores,
+        )
+    start_ns = 0
+    if warmup:
+        for pid in workloads:
+            finish = warmup_process(machine, pid, start_ns=start_ns)
+            start_ns = max(start_ns, finish)
+        machine.reset_measurements()
+    drivers = [
+        ProcessDriver(pid, workload.accesses(), start_ns=start_ns)
+        for pid, workload in workloads.items()
+    ]
+    scheduler = ConcurrentScheduler(
+        machine,
+        drivers,
+        cores=n_cores,
+        migration_threshold_ns=migration_threshold_ns,
+        migration_cost_ns=migration_cost_ns,
+        allow_migration=allow_migration,
+    )
+    return scheduler.run(max_total_accesses=max_total_accesses)

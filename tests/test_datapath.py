@@ -1,6 +1,5 @@
 """Tests for data paths, backends, stages, and swap slots."""
 
-import pytest
 
 from repro.datapath.backends import DiskBackend, RemoteBackend
 from repro.datapath.block_layer import LegacyBlockPath

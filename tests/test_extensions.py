@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.leap import Leap
 from repro.prefetchers.ghb import GHBPrefetcher
-from repro.sim.machine import Machine
 from repro.sim.process import PageAccess
 from repro.sim.simulate import simulate
 from repro.workloads.patterns import StrideWorkload

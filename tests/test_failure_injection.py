@@ -11,7 +11,7 @@ import pytest
 
 from repro.rdma.agent import RemotePageLostError
 from repro.sim.machine import Machine, leap_config
-from repro.sim.process import PageAccess, ProcessDriver
+from repro.sim.process import ProcessDriver
 from repro.sim.run import run_processes, warmup_process
 from repro.workloads.patterns import StrideWorkload
 

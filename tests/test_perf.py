@@ -1,0 +1,158 @@
+"""Perf artifacts: emission, schema, and the regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf import (
+    ARTIFACT_SCHEMA_VERSION,
+    compare_artifacts,
+    fig13_profile,
+    load_artifact,
+    percentiles_us,
+    write_artifact,
+)
+from repro.perf.__main__ import main as perf_main
+
+
+def make_artifact(**app_overrides) -> dict:
+    apps = {
+        "powergraph": {"p50_us": 2.0, "p95_us": 10.0, "p99_us": 15.0,
+                       "completion_s": 1.0, "faults": 1000},
+        "numpy": {"p50_us": 1.0, "p95_us": 8.0, "p99_us": 12.0,
+                  "completion_s": 2.0, "faults": 500},
+    }
+    for app, overrides in app_overrides.items():
+        apps[app].update(overrides)
+    return {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "bench": "fig13",
+        "engine": "concurrent",
+        "config": {"seed": 42},
+        "apps": apps,
+    }
+
+
+class TestPercentiles:
+    def test_empty_samples(self):
+        assert percentiles_us([]) == {"p50_us": 0.0, "p95_us": 0.0, "p99_us": 0.0}
+
+    def test_known_values(self):
+        samples = list(range(1000, 101_000, 1000))  # 1..100 us in ns
+        stats = percentiles_us(samples)
+        assert 50.0 <= stats["p50_us"] <= 51.0
+        assert 95.0 <= stats["p95_us"] <= 96.0
+        assert stats["p99_us"] <= 100.0
+        assert stats["p50_us"] < stats["p95_us"] < stats["p99_us"]
+
+
+class TestArtifactIO:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        artifact = make_artifact()
+        path = write_artifact(artifact, tmp_path)
+        assert path.name == "BENCH_fig13.json"
+        assert load_artifact(path) == artifact
+
+    def test_write_requires_bench_name(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_artifact({"apps": {}}, tmp_path)
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        artifact = make_artifact()
+        artifact["schema"] = 999
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps(artifact))
+        with pytest.raises(ValueError):
+            load_artifact(path)
+
+
+class TestGate:
+    def test_identical_artifacts_pass(self):
+        base = make_artifact()
+        assert compare_artifacts(copy.deepcopy(base), base) == []
+
+    def test_within_budget_passes(self):
+        base = make_artifact()
+        current = make_artifact(powergraph={"p95_us": 11.5})  # +15%
+        assert compare_artifacts(current, base, max_regression=0.20) == []
+
+    def test_regression_past_budget_fails(self):
+        base = make_artifact()
+        current = make_artifact(powergraph={"p95_us": 13.0})  # +30%
+        violations = compare_artifacts(current, base, max_regression=0.20)
+        assert len(violations) == 1
+        assert violations[0].app == "powergraph"
+        assert violations[0].metric == "p95_us"
+        assert violations[0].regression == pytest.approx(0.30)
+
+    def test_improvement_never_fails(self):
+        base = make_artifact()
+        current = make_artifact(
+            powergraph={"p95_us": 1.0}, numpy={"completion_s": 0.5}
+        )
+        assert compare_artifacts(current, base) == []
+
+    def test_missing_app_is_a_violation(self):
+        base = make_artifact()
+        current = make_artifact()
+        del current["apps"]["numpy"]
+        violations = compare_artifacts(current, base)
+        assert {v.app for v in violations} == {"numpy"}
+
+    def test_extra_app_is_ignored(self):
+        base = make_artifact()
+        current = make_artifact()
+        current["apps"]["voltdb"] = {"p95_us": 1e9, "completion_s": 1e9}
+        assert compare_artifacts(current, base) == []
+
+
+class TestFig13Profile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return fig13_profile(wss_pages=256, accesses=1200, cores=2)
+
+    def test_artifact_shape(self, profile):
+        artifact, result = profile
+        assert artifact["schema"] == ARTIFACT_SCHEMA_VERSION
+        assert artifact["bench"] == "fig13"
+        assert artifact["engine"] == "concurrent"
+        assert set(artifact["apps"]) == {"powergraph", "numpy", "voltdb", "memcached"}
+        for row in artifact["apps"].values():
+            assert row["p50_us"] <= row["p95_us"] <= row["p99_us"]
+            assert row["completion_s"] > 0
+        assert artifact["wall_clock_s"] >= 0
+        assert "cores" in artifact and len(artifact["cores"]) == 2
+
+    def test_deterministic_simulated_metrics(self, profile):
+        artifact, _ = profile
+        again, _ = fig13_profile(wss_pages=256, accesses=1200, cores=2)
+        strip = lambda a: {  # noqa: E731 - local helper
+            name: {k: v for k, v in row.items()}
+            for name, row in a["apps"].items()
+        }
+        assert strip(again) == strip(artifact)
+
+    def test_cli_gate_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        code = perf_main(["--out", str(out), "--wss-pages", "256",
+                          "--accesses", "1200", "--cores", "2"])
+        assert code == 0
+        baseline = out / "BENCH_fig13.json"
+        assert baseline.exists()
+        code = perf_main(["--out", str(tmp_path / "second"), "--wss-pages", "256",
+                          "--accesses", "1200", "--cores", "2",
+                          "--baseline", str(baseline)])
+        assert code == 0
+        assert "perf gate OK" in capsys.readouterr().out
+
+    def test_cli_gate_fails_on_regression(self, tmp_path, capsys):
+        artifact, _ = fig13_profile(wss_pages=256, accesses=1200, cores=2)
+        for row in artifact["apps"].values():
+            row["p95_us"] *= 0.5  # make the baseline impossibly fast
+        baseline = write_artifact(artifact, tmp_path)
+        code = perf_main(["--out", str(tmp_path / "out"), "--wss-pages", "256",
+                          "--accesses", "1200", "--cores", "2",
+                          "--baseline", str(baseline)])
+        assert code == 1
+        assert "PERF GATE FAILED" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Per-(process, core) sharded Leap trackers and the split-merge path."""
+
+import pytest
+
+from repro.core.access_history import AccessHistory
+from repro.core.prefetch_window import PrefetchWindow
+from repro.core.sharded_tracker import ShardedLeapTracker
+
+
+def feed_stride(tracker, pid, start, count, stride=1, t0=0):
+    """Drive a clean stride pattern through a pid's active shard."""
+    for i in range(count):
+        tracker.on_fault((pid, start + i * stride), t0 + i, cache_hit=False)
+
+
+class TestSharding:
+    def test_one_shard_per_process_and_core(self):
+        tracker = ShardedLeapTracker()
+        tracker.on_process_placed(1, 0)
+        tracker.on_process_placed(2, 1)
+        feed_stride(tracker, 1, 0, 4)
+        feed_stride(tracker, 2, 100, 4)
+        assert tracker.shard_keys == [(1, 0), (2, 1)]
+        assert tracker.tracked_pids == [1, 2]
+
+    def test_isolation_between_processes(self):
+        tracker = ShardedLeapTracker()
+        feed_stride(tracker, 1, 0, 8, stride=2)
+        feed_stride(tracker, 2, 0, 8, stride=5)
+        one = tracker.active_shard(1)
+        two = tracker.active_shard(2)
+        assert one is not two
+        assert one.history.snapshot() != two.history.snapshot()
+
+    def test_routing_follows_active_core(self):
+        tracker = ShardedLeapTracker()
+        tracker.on_process_placed(1, 3)
+        feed_stride(tracker, 1, 0, 4)
+        assert tracker.shard_keys == [(1, 3)]
+        assert tracker.active_core(1) == 3
+
+    def test_candidates_follow_trend_like_unsharded(self):
+        tracker = ShardedLeapTracker()
+        tracker.on_process_placed(1, 0)
+        feed_stride(tracker, 1, 0, 16, stride=1)
+        found = tracker.candidates((1, 16), now=100)
+        assert found, "established stride should yield candidates"
+        assert all(pid == 1 for pid, _ in found)
+        vpns = [vpn for _, vpn in found]
+        assert vpns == sorted(vpns)
+
+
+class TestSplitMerge:
+    def test_migration_merges_history_into_destination(self):
+        tracker = ShardedLeapTracker()
+        tracker.on_process_placed(1, 0)
+        feed_stride(tracker, 1, 0, 10, stride=3)
+        source = tracker.shard_for(1, 0)
+        source_snapshot = source.history.snapshot()
+        tracker.on_process_migrated(1, 0, 2)
+        assert tracker.active_core(1) == 2
+        assert tracker.migrations == 1
+        destination = tracker.shard_for(1, 2)
+        # The merged window replays the source stream, newest first.
+        assert destination.history.snapshot() == source_snapshot
+        # The delta chain continues across the migration: the next
+        # access produces the same delta it would have on the old core.
+        delta = destination.history.record_access(30)
+        assert delta == 3
+
+    def test_split_keeps_source_shard_alive(self):
+        tracker = ShardedLeapTracker()
+        tracker.on_process_placed(1, 0)
+        feed_stride(tracker, 1, 0, 6)
+        tracker.on_process_migrated(1, 0, 1)
+        assert (1, 0) in tracker.shard_keys
+        assert (1, 1) in tracker.shard_keys
+
+    def test_learned_window_survives_migration(self):
+        tracker = ShardedLeapTracker()
+        tracker.on_process_placed(1, 0)
+        feed_stride(tracker, 1, 0, 16)
+        shard = tracker.shard_for(1, 0)
+        shard.candidates((1, 16), now=0)       # open a window
+        tracker.on_prefetch_hit((1, 17), now=1)  # earn growth
+        tracker.on_process_migrated(1, 0, 1)
+        destination = tracker.shard_for(1, 1)
+        assert destination.window.previous_size >= shard.window.previous_size or (
+            destination.window.cache_hits > 0
+        )
+
+    def test_migration_without_source_state_is_noop(self):
+        tracker = ShardedLeapTracker()
+        tracker.on_process_placed(1, 0)
+        tracker.on_process_migrated(1, 0, 1)
+        assert tracker.migrations == 0
+        assert tracker.active_core(1) == 1
+
+    def test_migration_to_same_core_is_noop(self):
+        tracker = ShardedLeapTracker()
+        feed_stride(tracker, 1, 0, 4)
+        tracker.on_process_migrated(1, 0, 0)
+        assert tracker.migrations == 0
+
+    def test_reset_clears_all_shards(self):
+        tracker = ShardedLeapTracker()
+        feed_stride(tracker, 1, 0, 8)
+        tracker.on_process_migrated(1, 0, 1)
+        tracker.reset()
+        for key in tracker.shard_keys:
+            assert len(tracker.shard_for(*key).history) == 0
+
+
+class TestMergePrimitives:
+    def test_access_history_adopt_replays_oldest_first(self):
+        source = AccessHistory(8)
+        for address in (10, 13, 16, 19):
+            source.record_access(address)
+        destination = AccessHistory(8)
+        destination.adopt(source)
+        assert destination.snapshot() == source.snapshot()
+        assert destination.last_address == 19
+
+    def test_adopt_bounded_by_capacity(self):
+        source = AccessHistory(16)
+        for address in range(0, 32, 2):
+            source.record_access(address)
+        destination = AccessHistory(4)
+        destination.adopt(source)
+        # Only the most recent deltas survive, newest first.
+        assert destination.snapshot() == source.snapshot()[:4]
+
+    def test_prefetch_window_absorb_keeps_max(self):
+        a = PrefetchWindow(8)
+        b = PrefetchWindow(8)
+        a.record_hit()
+        a.record_hit()
+        a.next_size(True)  # learned size 4
+        b.absorb(a)
+        assert b.previous_size == a.previous_size
+
+    def test_absorb_wrong_pid_raises(self):
+        tracker = ShardedLeapTracker()
+        one = tracker.shard_for(1, 0)
+        two = tracker.shard_for(2, 0)
+        with pytest.raises(ValueError):
+            one.absorb(two)
