@@ -21,7 +21,12 @@ def test_fig4_lazy_eviction_wait(benchmark, scale):
         format_table(
             ["policy", "stale wait p50 (ms)", "stale wait p99 (ms)", "freed entries"],
             [
-                (r.policy, f"{r.stale_wait_p50_ms:.3f}", f"{r.stale_wait_p99_ms:.3f}", r.freed_entries)
+                (
+                    r.policy,
+                    f"{r.stale_wait_p50_ms:.3f}",
+                    f"{r.stale_wait_p99_ms:.3f}",
+                    r.freed_entries,
+                )
                 for r in results
             ],
             title="Figure 4 — cache eviction wait time",

@@ -22,7 +22,13 @@ def test_fig8b_slow_storage(benchmark, scale):
         format_table(
             ["medium", "prefetcher", "completion (s)", "misses", "coverage"],
             [
-                (r.medium, r.prefetcher, f"{r.completion_seconds:.2f}", r.cache_misses, f"{r.coverage:.3f}")
+                (
+                    r.medium,
+                    r.prefetcher,
+                    f"{r.completion_seconds:.2f}",
+                    r.cache_misses,
+                    f"{r.coverage:.3f}",
+                )
                 for r in runs
             ],
             title="Figure 8b — Leap's prefetcher on slow storage (PowerGraph, 50%)",

@@ -23,7 +23,13 @@ def test_fig9_prefetcher_cache_and_completion(benchmark, fig9_fig10_runs):
         format_table(
             ["prefetcher", "cache adds", "cache misses", "pollution", "completion (s)"],
             [
-                (r.prefetcher, r.cache_adds, r.cache_misses, r.pollution, f"{r.completion_seconds:.2f}")
+                (
+                    r.prefetcher,
+                    r.cache_adds,
+                    r.cache_misses,
+                    r.pollution,
+                    f"{r.completion_seconds:.2f}",
+                )
                 for r in runs
             ],
             title="Figure 9 — prefetcher cache behaviour (PowerGraph on HDD, 50%)",

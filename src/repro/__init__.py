@@ -11,7 +11,9 @@ The package implements, in simulation:
   limits, the legacy block-layer path (:mod:`repro.mem`,
   :mod:`repro.datapath`),
 * the RDMA fabric, slab placement, and host/remote agents
-  (:mod:`repro.rdma`),
+  (:mod:`repro.rdma`), and the multi-server memory cluster with
+  per-server queue pairs, failure injection, and slab remap recovery
+  (:mod:`repro.cluster`),
 * the baseline prefetchers (:mod:`repro.prefetchers`) and the paper's
   application workloads as synthetic traces (:mod:`repro.workloads`),
 * and a benchmark harness regenerating every table and figure of the
@@ -33,10 +35,12 @@ from repro.core.leap import Leap
 from repro.core.sharded_tracker import ShardedLeapTracker
 from repro.core.tracker import IsolatedLeapTracker
 from repro.core.trend import find_trend
+from repro.cluster import FailureEvent, MemoryCluster, MemoryServer
 from repro.mem.vmm import AccessKind, AccessOutcome, VirtualMemoryManager
 from repro.sim.machine import (
     Machine,
     MachineConfig,
+    cluster_config,
     disk_config,
     infiniswap_config,
     leap_config,
@@ -69,12 +73,15 @@ __all__ = [
     "AccessOutcome",
     "ConcurrentRunResult",
     "ConcurrentScheduler",
+    "FailureEvent",
     "IsolatedLeapTracker",
     "Leap",
     "LeapPrefetcher",
     "Machine",
     "MachineConfig",
     "MemcachedWorkload",
+    "MemoryCluster",
+    "MemoryServer",
     "NumpyMatmulWorkload",
     "PageAccess",
     "PowerGraphWorkload",
@@ -87,6 +94,7 @@ __all__ = [
     "VoltDBWorkload",
     "Workload",
     "ZipfianWorkload",
+    "cluster_config",
     "disk_config",
     "find_trend",
     "infiniswap_config",

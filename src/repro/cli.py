@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Five commands cover the common interactive uses:
+Six commands cover the common interactive uses:
 
 * ``compare`` — run one workload on D-VMM and D-VMM+Leap, print the
   latency and prefetch-quality comparison (the quickstart, as a CLI);
@@ -9,8 +9,13 @@ Five commands cover the common interactive uses:
 * ``concurrent`` — run several workloads at once through the
   multi-core engine (core contention, migration, per-app latency),
   optionally emitting a ``BENCH_*.json`` perf artifact;
-* ``perf`` — the CI perf gate: emit the scaled-down Figure 13 artifact
-  and compare it against a committed baseline;
+* ``cluster`` — run several workloads against a multi-server memory
+  cluster (per-server queue pairs and latency, live-load placement),
+  optionally crashing a server mid-run to exercise slab remap and
+  archive re-fetch recovery;
+* ``perf`` — the CI perf gate: emit a scaled-down profile artifact
+  (``fig13`` or ``cluster``) and compare it against a committed
+  baseline;
 * ``figures`` — list the benchmark targets that regenerate each of
   the paper's tables and figures.
 """
@@ -21,7 +26,13 @@ import argparse
 import sys
 
 from repro.metrics.report import format_table
-from repro.sim.machine import Machine, disk_config, infiniswap_config, leap_config
+from repro.sim.machine import (
+    Machine,
+    cluster_config,
+    disk_config,
+    infiniswap_config,
+    leap_config,
+)
 from repro.sim.simulate import simulate
 from repro.workloads.base import Workload
 from repro.workloads.memcached import MemcachedWorkload
@@ -84,10 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("workload", choices=sorted(WORKLOADS))
         p.add_argument("--wss-pages", type=int, default=8_192)
         p.add_argument("--accesses", type=int, default=30_000)
-        p.add_argument("--memory", type=float, default=0.5,
-                       help="local memory as a fraction of the working set")
-        p.add_argument("--stride", type=int, default=10,
-                       help="stride for the stride workload")
+        p.add_argument(
+            "--memory",
+            type=float,
+            default=0.5,
+            help="local memory as a fraction of the working set",
+        )
+        p.add_argument(
+            "--stride", type=int, default=10, help="stride for the stride workload"
+        )
         p.add_argument("--seed", type=int, default=42)
 
     compare = sub.add_parser("compare", help="D-VMM default path vs Leap")
@@ -117,9 +133,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--perf-out", metavar="DIR", help="write a BENCH_concurrent.json artifact"
     )
 
+    cluster = sub.add_parser(
+        "cluster", help="run workloads against a multi-server memory cluster"
+    )
+    cluster.add_argument(
+        "workloads",
+        nargs="+",
+        choices=sorted(WORKLOADS),
+        help="one process per workload name (repeats allowed)",
+    )
+    cluster.add_argument("--servers", type=int, default=4)
+    cluster.add_argument("--server-qps", type=int, default=2)
+    cluster.add_argument(
+        "--latency-spread",
+        type=float,
+        default=0.15,
+        help="seeded per-server fabric-median spread in [0, 1)",
+    )
+    cluster.add_argument("--cores", type=int, default=4)
+    cluster.add_argument("--wss-pages", type=int, default=8_192)
+    cluster.add_argument("--accesses", type=int, default=30_000)
+    cluster.add_argument("--memory", type=float, default=0.5)
+    cluster.add_argument("--seed", type=int, default=42)
+    cluster.add_argument("--no-migration", action="store_true")
+    cluster.add_argument(
+        "--fail-server",
+        type=int,
+        metavar="ID",
+        help="crash this memory server mid-run (slabs are remapped)",
+    )
+    cluster.add_argument(
+        "--fail-at-ms",
+        type=float,
+        default=5.0,
+        help="when to crash it, in ms of measured simulated time",
+    )
+    cluster.add_argument(
+        "--recover-at-ms",
+        type=float,
+        metavar="MS",
+        help="bring the crashed server back (empty) at this time",
+    )
+    cluster.add_argument(
+        "--perf-out", metavar="DIR", help="write a BENCH_cluster.json artifact"
+    )
+
     from repro.perf.__main__ import add_perf_arguments
 
-    perf = sub.add_parser("perf", help="emit/gate the Figure 13 perf artifact")
+    perf = sub.add_parser(
+        "perf", help="emit/gate a perf artifact (fig13 or cluster profile)"
+    )
     add_perf_arguments(perf)
 
     sub.add_parser("figures", help="list paper-figure benchmark targets")
@@ -156,8 +219,16 @@ def _run_one(config, args) -> dict:
 def _print_rows(rows: dict[str, dict]) -> None:
     print(
         format_table(
-            ["system", "completion (s)", "p50 (us)", "p99 (us)",
-             "faults", "misses", "coverage", "accuracy"],
+            [
+                "system",
+                "completion (s)",
+                "p50 (us)",
+                "p99 (us)",
+                "faults",
+                "misses",
+                "coverage",
+                "accuracy",
+            ],
             [
                 (
                     name,
@@ -218,15 +289,25 @@ def _run_concurrent(args) -> int:
         )
     print(
         format_table(
-            ["process", "completion (s)", "p50 (us)", "p95 (us)", "p99 (us)",
-             "faults", "core wait (ms)", "migrations"],
+            [
+                "process",
+                "completion (s)",
+                "p50 (us)",
+                "p95 (us)",
+                "p99 (us)",
+                "faults",
+                "core wait (ms)",
+                "migrations",
+            ],
             rows,
             title=f"{len(workloads)} processes on {args.cores} cores "
             f"({args.system}, {args.memory:.0%} memory)",
         )
     )
-    print(f"\nmakespan: {result.makespan_ns / 1e9:.3f}s  "
-          f"migrations: {result.migrations}")
+    print(
+        f"\nmakespan: {result.makespan_ns / 1e9:.3f}s  "
+        f"migrations: {result.migrations}"
+    )
     if args.perf_out:
         artifact = profile_concurrent(
             result,
@@ -236,6 +317,161 @@ def _run_concurrent(args) -> int:
                 "seed": args.seed,
                 "cores": args.cores,
                 "system": args.system,
+                "workloads": list(args.workloads),
+            },
+        )
+        print(f"wrote {write_artifact(artifact, args.perf_out)}")
+    return 0
+
+
+def _run_cluster(args) -> int:
+    from repro.cluster import FailureEvent
+    from repro.perf.artifacts import write_artifact
+    from repro.perf.profile import percentiles_us, profile_cluster
+    from repro.sim.units import ms
+
+    if args.fail_server is not None:
+        if not 0 <= args.fail_server < args.servers:
+            print(
+                f"error: --fail-server {args.fail_server} outside the cluster "
+                f"(servers are 0..{args.servers - 1})",
+                file=sys.stderr,
+            )
+            return 2
+        if (
+            args.recover_at_ms is not None
+            and args.recover_at_ms <= args.fail_at_ms
+        ):
+            print(
+                f"error: --recover-at-ms {args.recover_at_ms} must be after "
+                f"--fail-at-ms {args.fail_at_ms}",
+                file=sys.stderr,
+            )
+            return 2
+    machine = Machine(
+        cluster_config(
+            seed=args.seed,
+            remote_machines=args.servers,
+            server_qps=args.server_qps,
+            server_latency_spread=args.latency_spread,
+        )
+    )
+    workloads = {}
+    names = {}
+    for index, name in enumerate(args.workloads):
+        pid = index + 1
+        cls = WORKLOADS[name]
+        workloads[pid] = cls(
+            wss_pages=args.wss_pages,
+            total_accesses=args.accesses,
+            seed=args.seed + index,
+        )
+        names[pid] = f"{name}#{pid}"
+    failure_plan = []
+    if args.fail_server is not None:
+        failure_plan.append(
+            FailureEvent(ms(args.fail_at_ms), args.fail_server, "fail")
+        )
+        if args.recover_at_ms is not None:
+            failure_plan.append(
+                FailureEvent(ms(args.recover_at_ms), args.fail_server, "recover")
+            )
+    try:
+        result = machine.run_cluster(
+            workloads,
+            cores=args.cores,
+            memory_fraction=args.memory,
+            allow_migration=not args.no_migration,
+            failure_plan=failure_plan,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = []
+    for pid, name in names.items():
+        summary = result.processes[pid]
+        stats = percentiles_us(summary.fault_latencies)
+        rows.append(
+            (
+                name,
+                f"{summary.completion_seconds:.3f}",
+                f"{stats['p50_us']:.2f}",
+                f"{stats['p95_us']:.2f}",
+                f"{stats['p99_us']:.2f}",
+                len(summary.fault_latencies),
+            )
+        )
+    print(
+        format_table(
+            ["process", "completion (s)", "p50 (us)", "p95 (us)", "p99 (us)", "faults"],
+            rows,
+            title=f"{len(workloads)} processes on {args.cores} cores x "
+            f"{args.servers} memory servers ({args.memory:.0%} memory)",
+        )
+    )
+    agent = machine.host_agent
+    server_rows = []
+    for server_id, server in sorted(agent.remote_agents.items()):
+        stats = percentiles_us(server.read_latencies)
+        server_rows.append(
+            (
+                server_id,
+                "up" if server.alive else "DOWN",
+                f"{stats['p50_us']:.2f}",
+                f"{stats['p95_us']:.2f}",
+                f"{stats['p99_us']:.2f}",
+                server.reads,
+                server.writes,
+                f"{server.utilization:.2%}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            [
+                "server",
+                "state",
+                "p50 (us)",
+                "p95 (us)",
+                "p99 (us)",
+                "reads",
+                "writes",
+                "util",
+            ],
+            server_rows,
+            title="memory servers",
+        )
+    )
+    recovery = agent.recovery_stats()
+    print(
+        f"\nslot reuse: {recovery['slot_reuses']} reused / "
+        f"{recovery['slot_releases']} released"
+    )
+    if args.fail_server is not None:
+        if machine.cluster.servers[args.fail_server].failures == 0:
+            print(
+                f"warning: the run ended before --fail-at-ms "
+                f"{args.fail_at_ms} — server {args.fail_server} was never "
+                f"crashed (raise --accesses or lower --fail-at-ms)"
+            )
+        else:
+            checked, mismatched = agent.verify_contents()
+            print(
+                f"recovery: {recovery['remapped_slabs']} slabs remapped "
+                f"({recovery['promoted_slabs']} replica promotions, "
+                f"{recovery['refetched_pages']} pages re-fetched from disk, "
+                f"{recovery['lost_pages']} lost); "
+                f"contents: {checked - mismatched}/{checked} identical"
+            )
+    if args.perf_out:
+        artifact = profile_cluster(
+            result,
+            names,
+            bench="cluster",
+            config={
+                "seed": args.seed,
+                "cores": args.cores,
+                "servers": args.servers,
                 "workloads": list(args.workloads),
             },
         )
@@ -260,6 +496,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "concurrent":
         return _run_concurrent(args)
+    if args.command == "cluster":
+        return _run_cluster(args)
     if args.command == "perf":
         from repro.perf.__main__ import run as perf_run
 

@@ -1,0 +1,153 @@
+"""Memory servers: first-class remote nodes behind the slab allocator.
+
+The flat :class:`repro.rdma.agent.RemoteAgent` only accounts capacity
+and liveness — every remote machine shares one fabric model and the
+host's dispatch queues, so remote-side contention, imbalance, and
+heterogeneity are invisible.  A :class:`MemoryServer` is what the
+paper's §4.4 host agent actually talks to: a machine with
+
+* its own RDMA **queue pairs**, so a hot server's backlog delays only
+  the operations targeting it (independent remote-side contention);
+* its own **fabric profile** (:meth:`repro.rdma.network.RdmaFabric.variant`),
+  so a server one switch hop further away is measurably slower;
+* a **page store** of content fingerprints standing in for the page
+  bytes the simulator never materializes — lost on failure, restored
+  by replica promotion or re-fetch from the disk archive, and the
+  thing recovery tests check for bit-identical contents;
+* per-server latency samples and counters feeding the
+  ``BENCH_cluster`` perf artifact's per-server p50/p95/p99 rows.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.rdma.agent import RemoteAgent
+from repro.rdma.network import RdmaFabric
+from repro.rdma.qp import DispatchQueue, Submission
+from repro.sim.units import PAGE_SIZE
+
+__all__ = ["MemoryServer", "page_fingerprint"]
+
+
+def page_fingerprint(key: object, version: int) -> int:
+    """Deterministic stand-in for one page's contents at one version.
+
+    ``hash()`` is salted per interpreter run for strings, so the
+    fingerprint is a CRC over a stable rendering instead — identical
+    across runs, which is what lets a seeded failure/recovery run
+    assert byte-identical contents.
+    """
+    return zlib.crc32(f"{key!r}#{version}".encode("utf-8"))
+
+
+class MemoryServer(RemoteAgent):
+    """One remote memory donor with queue pairs, fabric, and contents."""
+
+    def __init__(
+        self,
+        machine_id: int,
+        capacity_pages: int,
+        fabric: RdmaFabric,
+        n_qps: int = 2,
+    ) -> None:
+        super().__init__(machine_id, capacity_pages)
+        if n_qps <= 0:
+            raise ValueError(f"need at least one queue pair, got {n_qps}")
+        self.fabric = fabric
+        self.qps = [DispatchQueue(index) for index in range(n_qps)]
+        #: Content fingerprints of pages stored here (primary or replica
+        #: copies).  Volatile: cleared when the server fails.
+        self.pages: dict[object, int] = {}
+        self.reads = 0
+        self.writes = 0
+        self.failures = 0
+        #: Per-op end-to-end latencies (ns) of reads served by this
+        #: server — the per-server population behind BENCH_cluster.
+        self.read_latencies: list[int] = []
+
+    # -- load signal ------------------------------------------------------
+    @property
+    def utilization(self) -> float:
+        return self.reserved_pages / self.capacity_pages
+
+    def qp_backlog_ns(self, now: int) -> int:
+        """Outstanding busy time across this server's queue pairs."""
+        return sum(max(0, qp.busy_until - now) for qp in self.qps)
+
+    #: Reserved-page equivalents one outstanding QP op weighs in
+    #: :meth:`load_score`.  An op queued *now* delays every future read
+    #: of every slab on this server, so it must count far more than one
+    #: cold reserved page — at 64, a server with ~16 outstanding ops
+    #: forfeits a one-slab (1024-page) utilization edge, making the
+    #: heat signal comparable to the capacity signal instead of a mere
+    #: tie-breaker.
+    BACKLOG_PAGE_WEIGHT = 64
+
+    def load_score(self, now: int) -> float:
+        """Live load for power-of-two placement (lower is better).
+
+        Combines committed capacity with *current* queue-pair backlog
+        (weighted into reserved-page equivalents so the two terms share
+        units), which is the feedback that steers new slabs away from a
+        server that is full **or** hot.
+        """
+        backlog_ops = self.qp_backlog_ns(now) / max(
+            1, self.fabric.service_time_ns()
+        )
+        return self.utilization + (
+            backlog_ops * self.BACKLOG_PAGE_WEIGHT / self.capacity_pages
+        )
+
+    # -- data movement ----------------------------------------------------
+    def submit(
+        self, now: int, core: int, size_bytes: int = PAGE_SIZE
+    ) -> Submission:
+        """Run one op through this server's queue pair for *core*.
+
+        The op occupies the QP for the server-side service time (wire +
+        NIC processing at the remote end) and completes after this
+        server's own fabric latency — so two reads against different
+        servers never contend, and two against the same one do.
+        """
+        if not self.alive:
+            raise RuntimeError(f"server {self.machine_id} is down")
+        qp = self.qps[core % len(self.qps)]
+        return qp.submit(
+            now,
+            service_ns=self.fabric.service_time_ns(size_bytes),
+            fabric_ns=self.fabric.fabric_latency_ns(size_bytes),
+        )
+
+    # -- page contents -----------------------------------------------------
+    def store(self, key: object, fingerprint: int) -> None:
+        self.pages[key] = fingerprint
+
+    def load(self, key: object) -> int | None:
+        return self.pages.get(key)
+
+    def discard(self, key: object) -> None:
+        self.pages.pop(key, None)
+
+    # -- liveness ----------------------------------------------------------
+    def fail(self) -> None:
+        """Crash: liveness *and* contents are gone (memory is volatile)."""
+        super().fail()
+        self.failures += 1
+        self.pages.clear()
+
+    # -- introspection -----------------------------------------------------
+    def stats_row(self) -> dict:
+        """Per-server row for the cluster perf artifact."""
+        qp_ops = sum(qp.stats.operations for qp in self.qps)
+        qp_delay = sum(qp.stats.total_queueing_delay for qp in self.qps)
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "qp_ops": qp_ops,
+            "mean_qp_delay_us": round(qp_delay / max(1, qp_ops) / 1e3, 3),
+            "utilization": round(self.utilization, 4),
+            "pages_stored": len(self.pages),
+            "alive": self.alive,
+            "failures": self.failures,
+        }

@@ -29,12 +29,31 @@ class IOBackend(abc.ABC):
     name: str
 
     @abc.abstractmethod
-    def submit_read(self, key: object, now: int, core: int) -> Submission:
-        """Submit a one-page read; returns its queue/completion timing."""
+    def submit_read(
+        self, key: object, now: int, core: int, server: int | None = None
+    ) -> Submission:
+        """Submit a one-page read; returns its queue/completion timing.
+
+        *server* is the pre-resolved serving node (see
+        :meth:`resolve_server`); backends without per-server state
+        ignore it.
+        """
 
     @abc.abstractmethod
-    def submit_write(self, key: object, now: int, core: int) -> Submission:
+    def submit_write(
+        self, key: object, now: int, core: int, server: int | None = None
+    ) -> Submission:
         """Submit a one-page write-out; returns its timing."""
+
+    def resolve_server(self, key: object) -> int | None:
+        """Which remote node would serve *key* right now, if known.
+
+        The data path resolves a page's :class:`PageLocation` to a
+        server *before* dispatch so the submission can be charged to
+        that server's queue pair.  Single-device and flat-fabric
+        backends return None.
+        """
+        return None
 
     @abc.abstractmethod
     def placement_of(self, key: object) -> int | None:
@@ -48,15 +67,17 @@ class IOBackend(abc.ABC):
         the faulting page and fetch whatever pages own those offsets.
         """
 
-    def release(self, key: object) -> None:
+    def release(self, key: object) -> bool:
         """The page faulted back in; its backing slot may be freed.
 
         Disk swap frees slots at swap-in under paging pressure, so the
         next eviction rewrites the page at the allocation frontier and
         device layout keeps tracking eviction order.  Remote-memory
-        slabs keep their mapping (Infiniswap-style), so the default is
-        a no-op.
+        slabs reclaim the slot into the slab's free list so steady
+        churn reuses capacity instead of leaking it slab by slab.
+        Returns True when a backing slot was actually freed.
         """
+        return False
 
 
 class DiskBackend(IOBackend):
@@ -68,13 +89,17 @@ class DiskBackend(IOBackend):
         self.swap_map = swap_map if swap_map is not None else SwapSlotAllocator()
         self._device_queue = DispatchQueue(core=0)
 
-    def submit_read(self, key: object, now: int, core: int) -> Submission:
+    def submit_read(
+        self, key: object, now: int, core: int, server: int | None = None
+    ) -> Submission:
         slot = self.swap_map.assign(key)
         service = self.medium.read_page(slot)
         # The whole transfer occupies the device; nothing is pipelined.
         return self._device_queue.submit(now, service_ns=service, fabric_ns=0)
 
-    def submit_write(self, key: object, now: int, core: int) -> Submission:
+    def submit_write(
+        self, key: object, now: int, core: int, server: int | None = None
+    ) -> Submission:
         # Swap clustering: every write-out lands at the allocation
         # frontier, so reclaim batches hit the device sequentially.
         slot = self.swap_map.reassign_at_frontier(key)
@@ -87,8 +112,8 @@ class DiskBackend(IOBackend):
     def key_at_offset(self, offset: int) -> object | None:
         return self.swap_map.key_at(offset)
 
-    def release(self, key: object) -> None:
-        self.swap_map.release(key)
+    def release(self, key: object) -> bool:
+        return self.swap_map.release(key)
 
     @property
     def queue(self) -> DispatchQueue:
@@ -102,11 +127,21 @@ class RemoteBackend(IOBackend):
         self.agent = agent
         self.name = "remote"
 
-    def submit_read(self, key: object, now: int, core: int) -> Submission:
-        return self.agent.read_page(key, now, core)
+    def submit_read(
+        self, key: object, now: int, core: int, server: int | None = None
+    ) -> Submission:
+        return self.agent.read_page(key, now, core, server=server)
 
-    def submit_write(self, key: object, now: int, core: int) -> Submission:
-        return self.agent.write_page(key, now, core)
+    def submit_write(
+        self, key: object, now: int, core: int, server: int | None = None
+    ) -> Submission:
+        return self.agent.write_page(key, now, core, server=server)
+
+    def resolve_server(self, key: object) -> int | None:
+        return self.agent.resolve_server(key)
+
+    def release(self, key: object) -> bool:
+        return self.agent.release_page(key)
 
     def placement_of(self, key: object) -> int | None:
         location = self.agent.allocator.location_of(key)

@@ -74,13 +74,14 @@ class SwapSlotAllocator:
         self._owner_by_slot[slot] = key
         return slot
 
-    def release(self, key: object) -> None:
+    def release(self, key: object) -> bool:
         """Free *key*'s slot (page became resident and dirty again)."""
         slot = self._slots.pop(key, None)
         if slot is None:
-            return
+            return False
         del self._owner_by_slot[slot]
         self._free_slots.append(slot)
+        return True
 
     def neighbours(self, key: object, before: int, after: int) -> list[object]:
         """Pages occupying the slots around *key*'s slot.

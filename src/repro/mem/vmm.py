@@ -96,6 +96,9 @@ class ProcessMemory:
     writebacks: int = 0
     #: Cgroup charges currently held by page-cache entries of this pid.
     cache_charged: int = 0
+    #: Backing-store slots reclaimed when this pid's pages faulted back
+    #: in (swap slots on disk, slab slots in remote memory).
+    slot_releases: int = 0
     #: Insertion-ordered keys of this pid's cache entries (reclaim scan).
     cache_fifo: deque = field(default_factory=deque)
 
@@ -389,7 +392,8 @@ class VirtualMemoryManager:
             process.cgroup.uncharge(1)
             process.cache_charged = max(0, process.cache_charged - 1)
             self._map_page(process, vpn, now, dirty=is_write)
-            self.data_path.backend.release(key)
+            if self.data_path.backend.release(key):
+                process.slot_releases += 1
             if was_prefetched:
                 self.prefetcher.on_prefetch_hit(key, now)
                 self.metrics.record_hit(key, now)
@@ -404,6 +408,7 @@ class VirtualMemoryManager:
         latency = CACHE_LOOKUP_NS + allocation_wait + timing.total_ns
         self._map_page(process, vpn, now, dirty=is_write)
         self._issue_prefetches(process, key, now)
-        # Free the swap slot only after the prefetcher used its offset.
-        self.data_path.backend.release(key)
+        # Free the backing slot only after the prefetcher used its offset.
+        if self.data_path.backend.release(key):
+            process.slot_releases += 1
         return self._record(AccessOutcome(AccessKind.MAJOR_FAULT, latency, key))

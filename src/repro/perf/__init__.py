@@ -26,16 +26,24 @@ from repro.perf.artifacts import (
     load_artifact,
     write_artifact,
 )
-from repro.perf.profile import fig13_profile, percentiles_us, profile_concurrent
+from repro.perf.profile import (
+    cluster_profile,
+    fig13_profile,
+    percentiles_us,
+    profile_cluster,
+    profile_concurrent,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "GateViolation",
     "artifact_path",
+    "cluster_profile",
     "compare_artifacts",
     "fig13_profile",
     "load_artifact",
     "percentiles_us",
+    "profile_cluster",
     "profile_concurrent",
     "write_artifact",
 ]

@@ -1,9 +1,11 @@
 """CI perf-gate entry point: ``python -m repro.perf``.
 
-Runs the scaled-down Figure 13 profile through the concurrent engine,
-writes ``BENCH_fig13.json``, and — when ``--baseline`` is given —
-fails (exit 1) if any gated metric regressed past the budget.  See
-PERF_BUDGETS.md for the budget and the waiver policy.
+Runs a scaled-down profile through the concurrent engine — the Figure
+13 mix (``--profile fig13``, the default) or the multi-server memory
+cluster (``--profile cluster``) — writes ``BENCH_<profile>.json``, and
+— when ``--baseline`` is given — fails (exit 1) if any gated metric
+regressed past the budget.  See PERF_BUDGETS.md for the budgets and
+the waiver policy.
 """
 
 from __future__ import annotations
@@ -17,7 +19,9 @@ from repro.perf.artifacts import (
     load_artifact,
     write_artifact,
 )
-from repro.perf.profile import fig13_profile
+from repro.perf.profile import cluster_profile, fig13_profile
+
+PROFILES = ("fig13", "cluster")
 
 
 def add_perf_arguments(parser: argparse.ArgumentParser) -> None:
@@ -26,7 +30,13 @@ def add_perf_arguments(parser: argparse.ArgumentParser) -> None:
     The main ``repro`` CLI attaches these to its ``perf`` subcommand,
     so ``repro perf`` and ``python -m repro.perf`` can never drift.
     """
-    parser.add_argument("--out", default=".", help="directory for BENCH_fig13.json")
+    parser.add_argument(
+        "--profile",
+        choices=PROFILES,
+        default="fig13",
+        help="which profile to run (default fig13)",
+    )
+    parser.add_argument("--out", default=".", help="directory for BENCH_<profile>.json")
     parser.add_argument("--baseline", help="baseline artifact to gate against")
     parser.add_argument(
         "--max-regression",
@@ -38,32 +48,58 @@ def add_perf_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--accesses", type=int, default=8000)
     parser.add_argument("--cores", type=int, default=4)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--servers",
+        type=int,
+        default=4,
+        help="memory servers (cluster profile only)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.perf",
-        description="Emit a BENCH_fig13.json perf artifact and optionally "
+        description="Emit a BENCH_<profile>.json perf artifact and optionally "
         "gate it against a committed baseline.",
     )
     add_perf_arguments(parser)
     return parser
 
 
-def run(args: argparse.Namespace) -> int:
-    """Execute the perf profile + gate for a parsed namespace."""
+def _run_profile(args: argparse.Namespace) -> dict:
+    if args.profile == "cluster":
+        artifact, _ = cluster_profile(
+            wss_pages=args.wss_pages,
+            accesses=args.accesses,
+            seed=args.seed,
+            cores=args.cores,
+            servers=args.servers,
+        )
+        return artifact
     artifact, _ = fig13_profile(
         wss_pages=args.wss_pages,
         accesses=args.accesses,
         seed=args.seed,
         cores=args.cores,
     )
+    return artifact
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute the perf profile + gate for a parsed namespace."""
+    artifact = _run_profile(args)
     path = write_artifact(artifact, args.out)
     print(f"wrote {path}")
     for name, row in sorted(artifact["apps"].items()):
         print(
             f"  {name:<12} p50 {row['p50_us']:8.2f} us   p95 {row['p95_us']:8.2f} us   "
             f"p99 {row['p99_us']:8.2f} us   completion {row['completion_s']:.3f} s"
+        )
+    for server_id, row in sorted(artifact.get("servers", {}).items()):
+        print(
+            f"  server:{server_id:<5} p50 {row['p50_us']:8.2f} us   "
+            f"p95 {row['p95_us']:8.2f} us   p99 {row['p99_us']:8.2f} us   "
+            f"reads {row['reads']:>6}   util {row['utilization']:.2%}"
         )
     if args.baseline is None:
         return 0

@@ -20,7 +20,9 @@ An artifact is plain JSON so CI can diff it and humans can read it:
 
 ``compare_artifacts`` implements the gate: for every app in the
 baseline, each gated metric may exceed its baseline value by at most
-``max_regression`` (relative).  Improvements never fail the gate, and
+``max_regression`` (relative).  Cluster artifacts additionally carry a
+``servers`` section (per-memory-server read-latency percentiles) that
+is gated the same way.  Improvements never fail the gate, and
 ``wall_clock_s`` is deliberately not a gated metric (host-dependent).
 """
 
@@ -107,28 +109,35 @@ def compare_artifacts(
     Every app present in the baseline must exist in the current
     artifact (a vanished app is reported as an infinite regression on
     each gated metric).  Apps only present in the current artifact are
-    ignored — adding coverage is never a regression.
+    ignored — adding coverage is never a regression.  When the baseline
+    carries a ``servers`` section (cluster artifacts), its rows are
+    gated the same way, labelled ``server:<id>``; metrics a row does
+    not carry (e.g. ``completion_s`` for a server) are skipped.
     """
     if not 0.0 <= max_regression:
         raise ValueError(f"max_regression must be >= 0, got {max_regression}")
     violations: list[GateViolation] = []
     metrics = tuple(metrics)
-    for app, base_row in baseline.get("apps", {}).items():
-        current_row = current.get("apps", {}).get(app)
-        for metric in metrics:
-            base_value = base_row.get(metric)
-            if base_value is None:
-                continue
-            value = None if current_row is None else current_row.get(metric)
-            if value is None:
-                violations.append(
-                    GateViolation(app, metric, base_value, float("inf"), max_regression)
-                )
-                continue
-            if base_value <= 0:
-                continue  # nothing meaningful to compare against
-            if value > base_value * (1.0 + max_regression):
-                violations.append(
-                    GateViolation(app, metric, base_value, value, max_regression)
-                )
+    for section, label_format in (("apps", "{}"), ("servers", "server:{}")):
+        for name, base_row in baseline.get(section, {}).items():
+            label = label_format.format(name)
+            current_row = current.get(section, {}).get(name)
+            for metric in metrics:
+                base_value = base_row.get(metric)
+                if base_value is None:
+                    continue
+                value = None if current_row is None else current_row.get(metric)
+                if value is None:
+                    violations.append(
+                        GateViolation(
+                            label, metric, base_value, float("inf"), max_regression
+                        )
+                    )
+                    continue
+                if base_value <= 0:
+                    continue  # nothing meaningful to compare against
+                if value > base_value * (1.0 + max_regression):
+                    violations.append(
+                        GateViolation(label, metric, base_value, value, max_regression)
+                    )
     return violations

@@ -4,6 +4,12 @@
 applications on the Leap stack through the concurrent engine, at a
 scale small enough for a smoke job, reduced to per-app p50/p95/p99
 fault latencies, completion times, and fault counts.
+
+``cluster_profile`` is the cluster gate's twin: the same four
+applications over a heterogeneous multi-server memory cluster, with
+per-*server* p50/p95/p99 read latency, utilization, and QP contention
+added to the artifact (and, when a failure is injected, the recovery
+accounting).
 """
 
 from __future__ import annotations
@@ -15,7 +21,13 @@ from repro.metrics.latency import percentile
 from repro.perf.artifacts import ARTIFACT_SCHEMA_VERSION
 from repro.sim.run import RunResult
 
-__all__ = ["percentiles_us", "profile_concurrent", "fig13_profile"]
+__all__ = [
+    "percentiles_us",
+    "profile_concurrent",
+    "profile_cluster",
+    "fig13_profile",
+    "cluster_profile",
+]
 
 
 def percentiles_us(samples: list[int]) -> dict[str, float]:
@@ -73,6 +85,35 @@ def profile_concurrent(
     return artifact
 
 
+def profile_cluster(
+    result: RunResult,
+    app_names: Mapping[int, str],
+    bench: str,
+    config: dict | None = None,
+    wall_clock_s: float | None = None,
+) -> dict:
+    """Reduce a cluster run to an artifact with per-server sections.
+
+    Builds the per-app rows via :func:`profile_concurrent`, then adds
+    ``servers`` (p50/p95/p99 read latency, reads/writes, utilization,
+    QP contention per memory server — gated in CI like app rows) and
+    ``recovery`` (remap/re-fetch/failover accounting, informational).
+    """
+    artifact = profile_concurrent(
+        result, app_names, bench, config=config, wall_clock_s=wall_clock_s
+    )
+    artifact["engine"] = "cluster"
+    agent = result.machine.host_agent
+    servers: dict[str, dict] = {}
+    for server_id, server in sorted(agent.remote_agents.items()):
+        row = percentiles_us(server.read_latencies)
+        row.update(server.stats_row())
+        servers[str(server_id)] = row
+    artifact["servers"] = servers
+    artifact["recovery"] = agent.recovery_stats()
+    return artifact
+
+
 def fig13_profile(
     wss_pages: int = 2048,
     accesses: int = 8000,
@@ -115,6 +156,81 @@ def fig13_profile(
             "memory_fraction": memory_fraction,
             "system": "d-vmm+leap",
         },
+        wall_clock_s=wall_clock_s,
+    )
+    return artifact, result
+
+
+def cluster_profile(
+    wss_pages: int = 2048,
+    accesses: int = 8000,
+    seed: int = 42,
+    cores: int = 4,
+    servers: int = 4,
+    memory_fraction: float = 0.5,
+    server_qps: int = 2,
+    latency_spread: float = 0.15,
+    fail_server: int | None = None,
+    fail_at_ns: int | None = None,
+) -> tuple[dict, RunResult]:
+    """Run the four-app mix on a memory cluster; return (artifact, result).
+
+    The CI profile runs failure-free (a stable baseline); pass
+    *fail_server* (and optionally *fail_at_ns*, relative to the
+    measured phase) to crash a server mid-run and exercise slab remap
+    and archive re-fetch — the run must still complete with identical
+    page contents whenever a copy survived.
+    """
+    from repro.bench.runner import BenchScale
+    from repro.bench.prefetch import application_workloads
+    from repro.cluster import FailureEvent
+    from repro.sim.machine import Machine, cluster_config
+    from repro.sim.units import ms
+
+    scale = BenchScale(wss_pages=wss_pages, accesses=accesses, seed=seed)
+    machine = Machine(
+        cluster_config(
+            seed=seed,
+            remote_machines=servers,
+            server_qps=server_qps,
+            server_latency_spread=latency_spread,
+        )
+    )
+    pids = {"powergraph": 1, "numpy": 2, "voltdb": 3, "memcached": 4}
+    workloads = {
+        pids[name]: workload
+        for name, workload in application_workloads(scale).items()
+    }
+    failure_plan = []
+    if fail_server is not None:
+        at = fail_at_ns if fail_at_ns is not None else ms(5)
+        failure_plan.append(FailureEvent(at, fail_server))
+    started = time.perf_counter()
+    result = machine.run_cluster(
+        workloads,
+        cores=cores,
+        memory_fraction=memory_fraction,
+        failure_plan=failure_plan,
+    )
+    wall_clock_s = time.perf_counter() - started
+    config = {
+        "seed": seed,
+        "cores": cores,
+        "servers": servers,
+        "server_qps": server_qps,
+        "latency_spread": latency_spread,
+        "wss_pages": wss_pages,
+        "accesses": accesses,
+        "memory_fraction": memory_fraction,
+        "system": "d-vmm+leap+cluster",
+    }
+    if fail_server is not None:
+        config["fail_server"] = fail_server
+    artifact = profile_cluster(
+        result,
+        {pid: name for name, pid in pids.items()},
+        bench="cluster",
+        config=config,
         wall_clock_s=wall_clock_s,
     )
     return artifact, result

@@ -92,6 +92,16 @@ class HostAgent:
         self.failovers = 0
 
     # -- placement ---------------------------------------------------------
+    def _placement_load(self, agent: RemoteAgent) -> float:
+        """Load signal power-of-two choices minimizes (lower is better).
+
+        The flat host agent only sees reserved capacity; the cluster
+        agent overrides this with *live* server load (utilization plus
+        queue-pair backlog), which is the §4.5 feedback loop that keeps
+        a hot server from accumulating new slabs.
+        """
+        return -agent.free_pages
+
     def _pick_machine(self, exclude: set[int]) -> RemoteAgent:
         """Power-of-two-choices among alive machines with slab headroom."""
         slab_pages = self.allocator.slab_capacity_pages
@@ -105,7 +115,11 @@ class HostAgent:
         if len(candidates) == 1:
             return candidates[0]
         first, second = self._rng.sample(candidates, 2)
-        return first if first.free_pages >= second.free_pages else second
+        return (
+            first
+            if self._placement_load(first) <= self._placement_load(second)
+            else second
+        )
 
     def _ensure_open_slab(self) -> None:
         if not self.allocator.needs_new_slab():
@@ -146,8 +160,28 @@ class HostAgent:
             f"and no live replica"
         )
 
-    def read_page(self, key: object, now: int, core: int = 0) -> Submission:
-        """One-sided RDMA read of *key*'s page; returns queue timings."""
+    def resolve_server(self, key: object) -> int | None:
+        """Pre-dispatch resolution of *key*'s serving machine.
+
+        The flat host agent resolves internally (all machines share one
+        latency model), so it returns None and the data path skips the
+        lookup; the cluster agent returns the live server so dispatch
+        can charge that server's queue pair.
+        """
+        return None
+
+    def release_page(self, key: object) -> bool:
+        """The page faulted back in; reclaim its remote slot for reuse."""
+        return self.allocator.release(key)
+
+    def read_page(
+        self, key: object, now: int, core: int = 0, server: int | None = None
+    ) -> Submission:
+        """One-sided RDMA read of *key*'s page; returns queue timings.
+
+        *server* is an optional pre-resolved target (see
+        :meth:`resolve_server`); the flat agent ignores it.
+        """
         location = self.place_page(key)
         slab = self.allocator.slab_of(location)
         self._readable_machine(slab)  # raises if the page is lost
@@ -158,7 +192,9 @@ class HostAgent:
             fabric_ns=self.fabric.fabric_latency_ns(),
         )
 
-    def write_page(self, key: object, now: int, core: int = 0) -> Submission:
+    def write_page(
+        self, key: object, now: int, core: int = 0, server: int | None = None
+    ) -> Submission:
         """RDMA write of *key*'s page to its slab (and replica if any)."""
         location = self.place_page(key)
         slab = self.allocator.slab_of(location)

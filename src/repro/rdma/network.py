@@ -43,6 +43,28 @@ class RdmaFabric:
         self._service_cache: dict[int, int] = {}
         self._latency_pools: dict[int, SamplePool] = {}
 
+    def variant(
+        self,
+        rng: SimRandom,
+        median_scale: float = 1.0,
+        bandwidth_scale: float = 1.0,
+    ) -> "RdmaFabric":
+        """A per-server fabric: same model, scaled parameters, own stream.
+
+        Real clusters are not uniform — a server one switch hop further
+        away, with a slower NIC, or on a congested rack sees a different
+        latency profile.  Each :class:`repro.cluster.MemoryServer` owns
+        a variant so remote-side latency and contention are independent
+        per server.
+        """
+        return RdmaFabric(
+            rng,
+            median_ns=max(1, int(round(self.median_ns * median_scale))),
+            sigma=self.sigma,
+            bandwidth_gbps=self.bandwidth_gbps * bandwidth_scale,
+            per_op_cpu_ns=self.per_op_cpu_ns,
+        )
+
     def wire_time_ns(self, size_bytes: int = PAGE_SIZE) -> int:
         """Serialization time of *size_bytes* on the wire."""
         bits = size_bytes * 8

@@ -7,6 +7,12 @@ rule (§4.5) to keep memory usage balanced.  Within a slab, page slots
 are handed out in the order pages are first evicted, which reproduces
 the paper's observation that pages aged out together land at nearby
 remote addresses.
+
+Slots are *reclaimed*: when a page faults back in and its backing copy
+is dropped (:meth:`SlabAllocator.release`), the slot returns to its
+slab's free list and is reused before any new slab is opened.  Without
+this, every evict/fault-in cycle would consume a fresh slot and a long
+run would leak remote capacity one slab at a time.
 """
 
 from __future__ import annotations
@@ -39,20 +45,37 @@ class Slab:
     replica_machine_id: int | None = None
     page_slots: dict[object, int] = field(default_factory=dict)
     slot_pages: list[object] = field(default_factory=list)
+    free_slots: list[int] = field(default_factory=list)
 
     @property
     def is_full(self) -> bool:
         return self.used_slots >= self.capacity_pages
 
+    @property
+    def has_free_slot(self) -> bool:
+        return bool(self.free_slots)
+
     def allocate_slot(self, key: object) -> int:
-        if self.is_full:
-            raise RuntimeError(f"slab {self.slab_id} is full")
         if key in self.page_slots:
             raise ValueError(f"page {key!r} already has a slot in slab {self.slab_id}")
-        slot = self.used_slots
+        if self.free_slots:
+            slot = self.free_slots.pop()
+            self.slot_pages[slot] = key
+        elif len(self.slot_pages) < self.capacity_pages:
+            slot = len(self.slot_pages)
+            self.slot_pages.append(key)
+        else:
+            raise RuntimeError(f"slab {self.slab_id} is full")
         self.page_slots[key] = slot
-        self.slot_pages.append(key)
         self.used_slots += 1
+        return slot
+
+    def free_slot(self, key: object) -> int:
+        """Return *key*'s slot to this slab's free list."""
+        slot = self.page_slots.pop(key)
+        self.slot_pages[slot] = None
+        self.free_slots.append(slot)
+        self.used_slots -= 1
         return slot
 
     def key_at(self, slot: int) -> object | None:
@@ -74,6 +97,11 @@ class SlabAllocator:
         self._locations: dict[object, PageLocation] = {}
         self._open_slab: Slab | None = None
         self._next_slab_id = 0
+        #: Slab ids with at least one reclaimed slot, in the order the
+        #: first slot came back (dict-as-ordered-set, for determinism).
+        self._reusable: dict[int, None] = {}
+        self.released_slots = 0
+        self.reused_slots = 0
 
     def location_of(self, key: object) -> PageLocation | None:
         return self._locations.get(key)
@@ -83,6 +111,8 @@ class SlabAllocator:
         return len(self._locations)
 
     def needs_new_slab(self) -> bool:
+        if self._reusable:
+            return False
         return self._open_slab is None or self._open_slab.is_full
 
     def open_slab(self, machine_id: int, replica_machine_id: int | None) -> Slab:
@@ -99,16 +129,49 @@ class SlabAllocator:
         return slab
 
     def place_page(self, key: object) -> PageLocation:
-        """Assign *key* a slot in the open slab (caller ensures one exists)."""
+        """Assign *key* a slot, reusing reclaimed slots before the open slab."""
         existing = self._locations.get(key)
         if existing is not None:
             return existing
+        while self._reusable:
+            slab_id = next(iter(self._reusable))
+            slab = self.slabs[slab_id]
+            if not slab.free_slots:
+                del self._reusable[slab_id]
+                continue
+            slot = slab.allocate_slot(key)
+            if not slab.free_slots:
+                del self._reusable[slab_id]
+            location = PageLocation(slab_id=slab_id, slot=slot)
+            self._locations[key] = location
+            self.reused_slots += 1
+            return location
         if self._open_slab is None or self._open_slab.is_full:
             raise RuntimeError("no open slab; call open_slab() first")
         slot = self._open_slab.allocate_slot(key)
         location = PageLocation(slab_id=self._open_slab.slab_id, slot=slot)
         self._locations[key] = location
         return location
+
+    def release(self, key: object) -> bool:
+        """Reclaim *key*'s slot (the page faulted back in).
+
+        The slot is queued for reuse by the next placement, so steady
+        evict/fault-in churn recycles remote capacity instead of
+        opening slab after slab.  Returns True when a slot was freed.
+        """
+        location = self._locations.pop(key, None)
+        if location is None:
+            return False
+        slab = self.slabs[location.slab_id]
+        slab.free_slot(key)
+        self._reusable.setdefault(slab.slab_id)
+        self.released_slots += 1
+        return True
+
+    def keys_in_slab(self, slab_id: int) -> list[object]:
+        """Pages currently occupying slots of one slab (remap/recovery)."""
+        return list(self.slabs[slab_id].page_slots)
 
     def slab_of(self, location: PageLocation) -> Slab:
         return self.slabs[location.slab_id]

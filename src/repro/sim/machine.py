@@ -46,13 +46,14 @@ from repro.storage.backends import HDDMedium, SSDMedium
 __all__ = [
     "MachineConfig",
     "Machine",
+    "cluster_config",
     "disk_config",
     "infiniswap_config",
     "leap_config",
 ]
 
 DATA_PATHS = ("legacy", "lean")
-MEDIA = ("remote", "hdd", "ssd")
+MEDIA = ("remote", "cluster", "hdd", "ssd")
 PREFETCHERS = ("readahead", "stride", "next-n-line", "leap", "none")
 EVICTIONS = ("lazy", "eager")
 
@@ -72,6 +73,12 @@ class MachineConfig:
     remote_capacity_pages: int = 1 << 20
     slab_pages: int = 4096
     replication: bool = True
+    #: Queue pairs per memory server (``cluster`` medium only): the
+    #: remote-side dispatch parallelism before ops serialize.
+    server_qps: int = 2
+    #: Seeded per-server fabric-median spread in [0, 1) — 0.15 means a
+    #: server can be up to 15% faster or slower than the testbed median.
+    server_latency_spread: float = 0.0
     history_size: int = 32
     n_split: int = 2
     max_prefetch_window: int = 8
@@ -120,6 +127,25 @@ def leap_config(**overrides) -> MachineConfig:
     ).with_overrides(**overrides)
 
 
+def cluster_config(**overrides) -> MachineConfig:
+    """The Leap stack over a multi-server memory cluster.
+
+    Like :func:`leap_config`, but remote machine ids are real
+    :class:`~repro.cluster.MemoryServer` nodes with their own queue
+    pairs, latency profiles, contents, and failure/recovery behaviour.
+    Slabs default to 1024 pages (vs the flat default of 4096) so
+    placement exercises more than one server even at smoke scale.
+    """
+    return MachineConfig(
+        data_path="lean",
+        medium="cluster",
+        prefetcher="leap",
+        eviction="eager",
+        slab_pages=1024,
+        server_latency_spread=0.15,
+    ).with_overrides(**overrides)
+
+
 class Machine:
     """A host machine built from a :class:`MachineConfig`."""
 
@@ -128,6 +154,7 @@ class Machine:
         self.config = config
         root = SimRandom(config.seed, "machine")
         self.host_agent: HostAgent | None = None
+        self.cluster = None
         self.backend = self._build_backend(config, root)
         self.data_path = self._build_path(config, root)
         policy = LazyLRUPolicy() if config.eviction == "lazy" else EagerFifoPolicy()
@@ -166,6 +193,27 @@ class Machine:
                 n_cores=config.n_cores,
                 slab_capacity_pages=config.slab_pages,
                 replication=config.replication,
+            )
+            return RemoteBackend(self.host_agent)
+        if config.medium == "cluster":
+            from repro.cluster import ClusterHostAgent, MemoryCluster
+
+            fabric = RdmaFabric(root.spawn("fabric"))
+            self.cluster = MemoryCluster.build(
+                root.spawn("cluster"),
+                fabric,
+                n_servers=config.remote_machines,
+                capacity_pages=config.remote_capacity_pages,
+                qps_per_server=config.server_qps,
+                latency_spread=config.server_latency_spread,
+            )
+            self.host_agent = ClusterHostAgent(
+                self.cluster,
+                root.spawn("placement"),
+                n_cores=config.n_cores,
+                slab_capacity_pages=config.slab_pages,
+                replication=config.replication,
+                host_fabric=fabric,
             )
             return RemoteBackend(self.host_agent)
         if config.medium == "hdd":
@@ -262,6 +310,65 @@ class Machine:
             warmup=warmup,
             max_total_accesses=max_total_accesses,
             allow_migration=allow_migration,
+        )
+
+    # -- cluster management ----------------------------------------------------
+    def _require_cluster(self):
+        if self.cluster is None:
+            raise RuntimeError(
+                "this machine has no memory cluster; build it with "
+                "cluster_config() (medium='cluster')"
+            )
+        return self.cluster
+
+    def fail_server(self, server_id: int) -> int:
+        """Crash one memory server and remap every slab it hosted.
+
+        The server's contents vanish (remote memory is volatile); the
+        host agent immediately promotes replicas, re-fetches
+        unreplicated slabs from the disk archive, and re-replicates —
+        deterministically under the machine's seed.  Returns the number
+        of slabs remapped.
+        """
+        cluster = self._require_cluster()
+        cluster.fail_server(server_id)
+        return self.host_agent.recover_from_failure(server_id)
+
+    def recover_server(self, server_id: int) -> None:
+        """Bring a crashed server back (empty: contents were lost)."""
+        self._require_cluster().recover_server(server_id)
+
+    def run_cluster(
+        self,
+        workloads,
+        cores: int | None = None,
+        memory_fraction: float = 0.5,
+        warmup: bool = True,
+        max_total_accesses: int | None = None,
+        allow_migration: bool = True,
+        failure_plan=(),
+    ):
+        """Run *workloads* across N app cores and M memory servers.
+
+        The cluster entry point: like :meth:`run_concurrent`, but the
+        machine must be built with ``cluster_config()`` and
+        *failure_plan* (:class:`repro.cluster.FailureEvent` entries,
+        times relative to the measured phase) injects server crashes
+        and recoveries mid-run.  See
+        :func:`repro.sim.scheduler.simulate_cluster`.
+        """
+        from repro.sim.scheduler import simulate_cluster
+
+        self._require_cluster()
+        return simulate_cluster(
+            self,
+            workloads,
+            cores=cores,
+            memory_fraction=memory_fraction,
+            warmup=warmup,
+            max_total_accesses=max_total_accesses,
+            allow_migration=allow_migration,
+            failure_plan=failure_plan,
         )
 
     # -- measurement management ------------------------------------------------

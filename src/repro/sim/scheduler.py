@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.sim.process import ProcessDriver
 from repro.sim.run import ProcessSummary, RunResult, summarize_driver, warmup_process
@@ -36,8 +36,14 @@ __all__ = [
     "CoreSummary",
     "ConcurrentRunResult",
     "ConcurrentScheduler",
+    "simulate_cluster",
     "simulate_concurrent",
 ]
+
+#: A timeline entry: (simulated time, callback).  The scheduler fires
+#: the callback (with the scheduled time) as soon as the event loop
+#: reaches that simulated time — failure injection, elasticity, etc.
+TimelineEvent = tuple[int, Callable[[int], object]]
 
 #: Default imbalance a process tolerates before migrating cores.
 DEFAULT_MIGRATION_THRESHOLD_NS = ms(1)
@@ -95,9 +101,12 @@ class ConcurrentScheduler:
         migration_cost_ns: int = DEFAULT_MIGRATION_COST_NS,
         migration_interval_ns: int = DEFAULT_MIGRATION_INTERVAL_NS,
         allow_migration: bool = True,
+        timeline: Sequence[TimelineEvent] | None = None,
     ) -> None:
         self.machine = machine
         self.drivers = list(drivers)
+        self._timeline = sorted(timeline or (), key=lambda event: event[0])
+        self._timeline_index = 0
         n_cores = cores if cores is not None else machine.config.n_cores
         if n_cores < 1:
             raise ValueError(f"need at least one core, got {n_cores}")
@@ -171,6 +180,16 @@ class ConcurrentScheduler:
         driver.clock.advance(self.migration_cost_ns)
         return best
 
+    def _fire_due_events(self, now: int) -> None:
+        """Run timeline callbacks whose simulated time has arrived."""
+        while (
+            self._timeline_index < len(self._timeline)
+            and self._timeline[self._timeline_index][0] <= now
+        ):
+            at, callback = self._timeline[self._timeline_index]
+            self._timeline_index += 1
+            callback(at)
+
     def run(self, max_total_accesses: int | None = None) -> ConcurrentRunResult:
         """Run every driver to completion (or to the access budget)."""
         heap: list[tuple[int, int, ProcessDriver]] = []
@@ -180,6 +199,8 @@ class ConcurrentScheduler:
         executed = 0
         while heap:
             now, index, driver = heapq.heappop(heap)
+            if self._timeline_index < len(self._timeline):
+                self._fire_due_events(now)
             if driver.done:
                 continue
             process = vmm.process(driver.pid)
@@ -238,6 +259,7 @@ def simulate_concurrent(
     migration_threshold_ns: int = DEFAULT_MIGRATION_THRESHOLD_NS,
     migration_cost_ns: int = DEFAULT_MIGRATION_COST_NS,
     allow_migration: bool = True,
+    timeline: Sequence[TimelineEvent] | None = None,
 ) -> ConcurrentRunResult:
     """Wire *workloads* onto *machine* and run them concurrently.
 
@@ -247,6 +269,10 @@ def simulate_concurrent(
     (default: the machine's core count); working sets are materialized
     by a serialized warmup pass, measurements reset, and the measured
     phase runs through the :class:`ConcurrentScheduler`.
+
+    *timeline* events are scheduled relative to the start of the
+    measured phase (warmup shifts them), so a plan means the same thing
+    at any working-set size.
     """
     if not workloads:
         raise ValueError("need at least one workload")
@@ -282,5 +308,60 @@ def simulate_concurrent(
         migration_threshold_ns=migration_threshold_ns,
         migration_cost_ns=migration_cost_ns,
         allow_migration=allow_migration,
+        timeline=[
+            (start_ns + at, callback) for at, callback in (timeline or ())
+        ],
     )
     return scheduler.run(max_total_accesses=max_total_accesses)
+
+
+def simulate_cluster(
+    machine,
+    workloads: Mapping[int, object],
+    cores: int | None = None,
+    memory_fraction: float = 0.5,
+    warmup: bool = True,
+    max_total_accesses: int | None = None,
+    allow_migration: bool = True,
+    failure_plan: Iterable = (),
+) -> ConcurrentRunResult:
+    """Run *workloads* on a cluster machine with failure injection.
+
+    The N-app-cores × M-memory-servers entry point: the concurrent
+    engine drives the app side while *failure_plan*
+    (:class:`repro.cluster.FailureEvent` entries, times relative to the
+    measured phase) crashes and recovers memory servers on the way.  A
+    ``fail`` event atomically fails the server and remaps every slab it
+    hosted (replica promotion / archive re-fetch / re-replication), so
+    the run completes with contents intact whenever a copy survived.
+    """
+    timeline: list[TimelineEvent] = []
+    for event in failure_plan:
+        if event.action == "fail":
+            timeline.append(
+                (
+                    event.time_ns,
+                    lambda at, server_id=event.server_id: machine.fail_server(
+                        server_id
+                    ),
+                )
+            )
+        else:
+            timeline.append(
+                (
+                    event.time_ns,
+                    lambda at, server_id=event.server_id: machine.recover_server(
+                        server_id
+                    ),
+                )
+            )
+    return simulate_concurrent(
+        machine,
+        workloads,
+        cores=cores,
+        memory_fraction=memory_fraction,
+        warmup=warmup,
+        max_total_accesses=max_total_accesses,
+        allow_migration=allow_migration,
+        timeline=timeline,
+    )

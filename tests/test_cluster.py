@@ -1,0 +1,272 @@
+"""The multi-server memory cluster: placement, contention, recovery.
+
+The scenarios no flat-fabric test could exercise: power-of-two choices
+converging to balanced utilization when servers start skewed, a hot
+server backing up only its own queue pairs, and a seeded server crash
+whose slabs are remapped deterministically with page contents intact.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterHostAgent,
+    FailureEvent,
+    MemoryCluster,
+    MemoryServer,
+    page_fingerprint,
+)
+from repro.rdma.agent import RemotePageLostError
+from repro.rdma.network import RdmaFabric
+from repro.sim.machine import Machine, cluster_config
+from repro.sim.rng import SimRandom
+from repro.sim.units import ms
+from repro.workloads.patterns import StrideWorkload, ZipfianWorkload
+
+
+def make_cluster(
+    n_servers=4,
+    capacity=1 << 16,
+    slab_pages=64,
+    replication=True,
+    seed=11,
+    latency_spread=0.0,
+):
+    rng = SimRandom(seed, "cluster-test")
+    fabric = RdmaFabric(rng.spawn("fabric"))
+    cluster = MemoryCluster.build(
+        rng.spawn("servers"),
+        fabric,
+        n_servers=n_servers,
+        capacity_pages=capacity,
+        qps_per_server=2,
+        latency_spread=latency_spread,
+    )
+    agent = ClusterHostAgent(
+        cluster,
+        rng.spawn("placement"),
+        n_cores=4,
+        slab_capacity_pages=slab_pages,
+        replication=replication,
+        host_fabric=fabric,
+    )
+    return cluster, agent
+
+
+class TestMemoryServer:
+    def test_contents_survive_until_failure(self):
+        cluster, agent = make_cluster()
+        agent.write_page("p", now=0)
+        slab = agent.allocator.slabs[0]
+        primary = cluster.servers[slab.machine_id]
+        assert primary.load("p") == page_fingerprint("p", 1)
+        primary.fail()
+        assert primary.load("p") is None
+
+    def test_dead_server_rejects_ops(self):
+        cluster, _ = make_cluster()
+        server = cluster.servers[0]
+        server.fail()
+        with pytest.raises(RuntimeError):
+            server.submit(now=0, core=0)
+
+    def test_per_server_contention_is_independent(self):
+        cluster, _ = make_cluster()
+        hot, cold = cluster.servers[0], cluster.servers[1]
+        for _ in range(50):
+            hot.submit(now=0, core=0)
+        cold_sub = cold.submit(now=0, core=0)
+        assert cold_sub.queueing_delay == 0
+        assert hot.qp_backlog_ns(0) > 0
+        assert hot.load_score(0) > cold.load_score(0)
+
+
+class TestPlacementFeedback:
+    def test_converges_under_initial_imbalance(self):
+        """Power-of-two over live load drains toward balanced utilization."""
+        cluster, agent = make_cluster(n_servers=4, slab_pages=16, replication=False)
+        # Skew the start: server 0 already hosts a big static reservation.
+        cluster.servers[0].reserve_slab(1 << 12)
+        for index in range(16 * 60):
+            agent.place_page(("p", index))
+        utils = cluster.utilizations()
+        others = [utils[sid] for sid in (1, 2, 3)]
+        # The pre-loaded server must not keep attracting slabs...
+        assert utils[0] - (1 << 12) / (1 << 16) <= max(others)
+        # ...and the unskewed servers stay mutually balanced.
+        assert max(others) - min(others) <= 16 * 8 / (1 << 16)
+
+    def test_hot_server_repels_new_slabs(self):
+        """QP backlog — not just capacity — steers placement."""
+        cluster, agent = make_cluster(n_servers=2, slab_pages=8, replication=False)
+        hot = cluster.servers[0]
+        for _ in range(10_000):
+            hot.submit(now=0, core=0)
+        agent._now_hint = 0
+        placed = [agent.place_page(("p", index)) for index in range(8 * 20)]
+        machines = [agent.allocator.slabs[loc.slab_id].machine_id for loc in placed]
+        # With identical capacity, only the backlog distinguishes the
+        # two; every two-choice round must prefer the cold server.
+        assert machines.count(1) > machines.count(0)
+
+
+class TestFailureRecovery:
+    def run_with_failure(self, seed):
+        machine = Machine(
+            cluster_config(
+                seed=seed,
+                remote_machines=4,
+                remote_capacity_pages=1 << 18,
+                slab_pages=256,
+            )
+        )
+        workloads = {
+            1: StrideWorkload(2_048, 5_000, stride=10, seed=seed),
+            2: ZipfianWorkload(2_048, 5_000, seed=seed + 1),
+        }
+        result = machine.run_cluster(
+            workloads, cores=2, failure_plan=[FailureEvent(ms(5), 0)]
+        )
+        return machine, result
+
+    def test_failure_run_completes_with_contents_intact(self):
+        machine, result = self.run_with_failure(seed=21)
+        assert result.processes[1].accesses == 5_000
+        assert result.processes[2].accesses == 5_000
+        agent = machine.host_agent
+        stats = agent.recovery_stats()
+        assert stats["remapped_slabs"] > 0
+        assert stats["lost_pages"] == 0
+        checked, mismatched = agent.verify_contents()
+        assert checked > 0
+        assert mismatched == 0
+        # No slab may still name the dead server.
+        for slab in agent.allocator.slabs.values():
+            assert slab.machine_id != 0
+            assert slab.replica_machine_id != 0
+
+    def test_remap_is_deterministic_under_seed(self):
+        def slab_map(machine):
+            return {
+                slab.slab_id: (slab.machine_id, slab.replica_machine_id)
+                for slab in machine.host_agent.allocator.slabs.values()
+            }
+
+        first, _ = self.run_with_failure(seed=33)
+        second, _ = self.run_with_failure(seed=33)
+        assert slab_map(first) == slab_map(second)
+        assert (
+            first.host_agent.recovery_stats()
+            == second.host_agent.recovery_stats()
+        )
+
+    def test_unreplicated_failure_refetches_from_archive(self):
+        cluster, agent = make_cluster(slab_pages=8, replication=False)
+        for index in range(16):
+            agent.write_page(("p", index), now=index * 10)
+        victim_id = agent.allocator.slabs[0].machine_id
+        cluster.fail_server(victim_id)
+        agent.recover_from_failure(victim_id)
+        stats = agent.recovery_stats()
+        assert stats["refetched_pages"] > 0
+        assert stats["lost_pages"] == 0
+        checked, mismatched = agent.verify_contents()
+        assert checked == 16
+        assert mismatched == 0
+
+    def test_replica_loss_is_restored(self):
+        cluster, agent = make_cluster(slab_pages=8, replication=True)
+        agent.write_page("p", now=0)
+        slab = agent.allocator.slabs[0]
+        victim_id = slab.replica_machine_id
+        cluster.fail_server(victim_id)
+        agent.recover_from_failure(victim_id)
+        assert slab.replica_machine_id is not None
+        assert slab.replica_machine_id != victim_id
+        replica = cluster.servers[slab.replica_machine_id]
+        assert replica.load("p") == page_fingerprint("p", 1)
+
+    def test_write_to_dead_primary_repairs_with_full_accounting(self):
+        """The in-line repair path matches bulk recovery: reservation
+        released, replication restored, remap counted."""
+        cluster, agent = make_cluster(slab_pages=8, replication=True)
+        agent.write_page("p", now=0)
+        slab = agent.allocator.slabs[0]
+        victim_id = slab.machine_id
+        cluster.fail_server(victim_id)  # no recover_from_failure call
+        agent.write_page("p", now=100)
+        assert slab.machine_id != victim_id
+        assert slab.replica_machine_id is not None
+        assert slab.replica_machine_id != victim_id
+        assert cluster.servers[victim_id].reserved_pages == 0
+        assert agent.recovery_stats()["remapped_slabs"] == 1
+        checked, mismatched = agent.verify_contents()
+        assert (checked, mismatched) == (1, 0)
+
+    def test_double_failure_without_archive_copy_is_lost(self):
+        cluster, agent = make_cluster(n_servers=2, slab_pages=8, replication=False)
+        agent.write_page("p", now=0)
+        victim_id = agent.allocator.slabs[0].machine_id
+        cluster.archive.clear()  # simulate the disk backup lagging
+        cluster.fail_server(victim_id)
+        agent.recover_from_failure(victim_id)
+        assert agent.recovery_stats()["lost_pages"] == 1
+
+
+class TestClusterMachine:
+    def test_run_cluster_requires_cluster_medium(self):
+        from repro.sim.machine import leap_config
+
+        machine = Machine(leap_config())
+        with pytest.raises(RuntimeError):
+            machine.run_cluster({1: StrideWorkload(256, 100, stride=10)})
+
+    def test_per_server_latency_profiles_differ(self):
+        machine = Machine(cluster_config(seed=5, server_latency_spread=0.3))
+        medians = {
+            server.fabric.median_ns
+            for server in machine.cluster.servers.values()
+        }
+        assert len(medians) > 1
+
+    def test_recover_brings_server_back_for_new_slabs(self):
+        machine = Machine(
+            cluster_config(
+                seed=9,
+                remote_machines=2,
+                remote_capacity_pages=1 << 12,
+                slab_pages=16,
+                replication=False,
+            )
+        )
+        agent = machine.host_agent
+        machine.fail_server(0)
+        for index in range(16 * 4):
+            agent.place_page(("p", index))
+        assert all(
+            slab.machine_id == 1 for slab in agent.allocator.slabs.values()
+        )
+        machine.recover_server(0)
+        for index in range(16 * 4, 16 * 200):
+            agent.place_page(("p", index))
+        machines = {slab.machine_id for slab in agent.allocator.slabs.values()}
+        assert machines == {0, 1}
+
+
+class TestSlotReuseEndToEnd:
+    def test_long_churn_does_not_leak_remote_capacity(self):
+        """Evict/fault-in cycles recycle slots instead of opening slabs."""
+        machine = Machine(
+            cluster_config(
+                seed=3,
+                remote_machines=4,
+                remote_capacity_pages=1 << 18,
+                slab_pages=64,
+            )
+        )
+        workloads = {1: StrideWorkload(1_024, 20_000, stride=10, seed=3)}
+        machine.run_cluster(workloads, cores=1)
+        agent = machine.host_agent
+        assert agent.allocator.reused_slots > 0
+        # Bound: every live mapping fits in the opened slabs with only
+        # churn headroom; without reuse this grows with total accesses.
+        assert len(agent.allocator.slabs) * 64 <= 1_024 + 64 * 4

@@ -90,11 +90,17 @@ class TestBackends:
         assert backend.placement_of("page") == 0
         assert backend.key_at_offset(0) == "page"
 
-    def test_remote_release_is_noop(self):
+    def test_remote_release_reclaims_slot(self):
         backend = make_remote_backend()
         backend.submit_read("page", 0, 0)
-        backend.release("page")
-        assert backend.placement_of("page") == 0
+        assert backend.release("page") is True
+        assert backend.placement_of("page") is None
+        # The freed slot is reused by the next placement instead of
+        # consuming a fresh one (long runs must not leak remote capacity).
+        backend.submit_read("other", 100, 0)
+        assert backend.placement_of("other") == 0
+        assert backend.key_at_offset(0) == "other"
+        assert backend.release("page") is False
 
 
 class TestStageModels:

@@ -7,6 +7,7 @@ import pytest
 
 from repro.perf import (
     ARTIFACT_SCHEMA_VERSION,
+    cluster_profile,
     compare_artifacts,
     fig13_profile,
     load_artifact,
@@ -18,10 +19,20 @@ from repro.perf.__main__ import main as perf_main
 
 def make_artifact(**app_overrides) -> dict:
     apps = {
-        "powergraph": {"p50_us": 2.0, "p95_us": 10.0, "p99_us": 15.0,
-                       "completion_s": 1.0, "faults": 1000},
-        "numpy": {"p50_us": 1.0, "p95_us": 8.0, "p99_us": 12.0,
-                  "completion_s": 2.0, "faults": 500},
+        "powergraph": {
+            "p50_us": 2.0,
+            "p95_us": 10.0,
+            "p99_us": 15.0,
+            "completion_s": 1.0,
+            "faults": 1000,
+        },
+        "numpy": {
+            "p50_us": 1.0,
+            "p95_us": 8.0,
+            "p99_us": 12.0,
+            "completion_s": 2.0,
+            "faults": 500,
+        },
     }
     for app, overrides in app_overrides.items():
         apps[app].update(overrides)
@@ -106,6 +117,22 @@ class TestGate:
         current["apps"]["voltdb"] = {"p95_us": 1e9, "completion_s": 1e9}
         assert compare_artifacts(current, base) == []
 
+    def test_servers_section_is_gated(self):
+        base = make_artifact()
+        base["servers"] = {"0": {"p95_us": 10.0, "reads": 100}}
+        current = make_artifact()
+        current["servers"] = {"0": {"p95_us": 14.0, "reads": 100}}
+        violations = compare_artifacts(current, base, max_regression=0.20)
+        assert len(violations) == 1
+        assert violations[0].app == "server:0"
+        assert violations[0].metric == "p95_us"
+
+    def test_missing_server_is_a_violation(self):
+        base = make_artifact()
+        base["servers"] = {"0": {"p95_us": 10.0}}
+        violations = compare_artifacts(make_artifact(), base)
+        assert {v.app for v in violations} == {"server:0"}
+
 
 class TestFig13Profile:
     @pytest.fixture(scope="class")
@@ -135,14 +162,14 @@ class TestFig13Profile:
 
     def test_cli_gate_roundtrip(self, tmp_path, capsys):
         out = tmp_path / "artifacts"
-        code = perf_main(["--out", str(out), "--wss-pages", "256",
-                          "--accesses", "1200", "--cores", "2"])
+        flags = ["--wss-pages", "256", "--accesses", "1200", "--cores", "2"]
+        code = perf_main(["--out", str(out), *flags])
         assert code == 0
         baseline = out / "BENCH_fig13.json"
         assert baseline.exists()
-        code = perf_main(["--out", str(tmp_path / "second"), "--wss-pages", "256",
-                          "--accesses", "1200", "--cores", "2",
-                          "--baseline", str(baseline)])
+        code = perf_main(
+            ["--out", str(tmp_path / "second"), *flags, "--baseline", str(baseline)]
+        )
         assert code == 0
         assert "perf gate OK" in capsys.readouterr().out
 
@@ -151,8 +178,57 @@ class TestFig13Profile:
         for row in artifact["apps"].values():
             row["p95_us"] *= 0.5  # make the baseline impossibly fast
         baseline = write_artifact(artifact, tmp_path)
-        code = perf_main(["--out", str(tmp_path / "out"), "--wss-pages", "256",
-                          "--accesses", "1200", "--cores", "2",
-                          "--baseline", str(baseline)])
+        flags = ["--wss-pages", "256", "--accesses", "1200", "--cores", "2"]
+        code = perf_main(
+            ["--out", str(tmp_path / "out"), *flags, "--baseline", str(baseline)]
+        )
         assert code == 1
         assert "PERF GATE FAILED" in capsys.readouterr().out
+
+
+class TestClusterProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return cluster_profile(wss_pages=256, accesses=1200, cores=2, servers=3)
+
+    def test_artifact_shape(self, profile):
+        artifact, _ = profile
+        assert artifact["bench"] == "cluster"
+        assert artifact["engine"] == "cluster"
+        assert set(artifact["apps"]) == {"powergraph", "numpy", "voltdb", "memcached"}
+        assert set(artifact["servers"]) == {"0", "1", "2"}
+        for row in artifact["servers"].values():
+            assert row["p50_us"] <= row["p95_us"] <= row["p99_us"]
+            assert row["alive"] is True
+        assert artifact["recovery"]["remapped_slabs"] == 0
+        assert artifact["recovery"]["slot_reuses"] > 0
+
+    def test_deterministic(self, profile):
+        artifact, _ = profile
+        again, _ = cluster_profile(wss_pages=256, accesses=1200, cores=2, servers=3)
+        assert again["apps"] == artifact["apps"]
+        assert again["servers"] == artifact["servers"]
+
+    def test_cli_cluster_gate_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        args = ["--profile", "cluster", "--wss-pages", "256"]
+        args += ["--accesses", "1200", "--cores", "2", "--servers", "3"]
+        assert perf_main(["--out", str(out), *args]) == 0
+        baseline = out / "BENCH_cluster.json"
+        assert baseline.exists()
+        code = perf_main(
+            ["--out", str(tmp_path / "second"), *args, "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "perf gate OK" in capsys.readouterr().out
+
+    def test_seeded_failure_run_recovers(self):
+        artifact, result = cluster_profile(
+            wss_pages=256, accesses=1200, cores=2, servers=3, fail_server=0
+        )
+        assert artifact["servers"]["0"]["alive"] is False
+        assert artifact["recovery"]["remapped_slabs"] > 0
+        assert artifact["recovery"]["lost_pages"] == 0
+        agent = result.machine.host_agent
+        checked, mismatched = agent.verify_contents()
+        assert checked > 0 and mismatched == 0

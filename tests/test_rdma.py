@@ -109,6 +109,38 @@ class TestSlabAllocator:
         with pytest.raises(RuntimeError):
             allocator.place_page("c")
 
+    def test_release_reclaims_and_reuses_slot(self):
+        allocator = SlabAllocator(2)
+        allocator.open_slab(0, None)
+        allocator.place_page("a")
+        allocator.place_page("b")
+        assert allocator.release("a") is True
+        assert allocator.release("a") is False  # already reclaimed
+        assert allocator.location_of("a") is None
+        assert not allocator.needs_new_slab()  # a freed slot is available
+        location = allocator.place_page("c")
+        assert (location.slab_id, location.slot) == (0, 0)
+        assert allocator.key_at(0) == "c"
+        assert allocator.reused_slots == 1
+        assert allocator.released_slots == 1
+
+    def test_churn_never_opens_second_slab(self):
+        allocator = SlabAllocator(4)
+        allocator.open_slab(0, None)
+        for round_index in range(50):
+            for page in range(4):
+                allocator.place_page((round_index, page))
+            for page in range(4):
+                allocator.release((round_index, page))
+        assert len(allocator.slabs) == 1
+
+    def test_freed_slot_reverse_lookup_is_empty(self):
+        allocator = SlabAllocator(2)
+        allocator.open_slab(0, None)
+        allocator.place_page("a")
+        allocator.release("a")
+        assert allocator.key_at(0) is None
+
     def test_key_at_reverse_lookup(self):
         allocator = SlabAllocator(2)
         allocator.open_slab(0, None)
