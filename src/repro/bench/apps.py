@@ -64,12 +64,12 @@ def fig4_lazy_eviction_wait(scale: BenchScale = BenchScale()) -> list[Fig4Result
         )
         result = run_single(config, workload, memory_fraction=0.5)
         waits = result.cache_stats.stale_wait_ns
-        stats = summarize(waits) if waits else {"p50": 0.0, "p99": 0.0}
+        stats = summarize(waits)
         results.append(
             Fig4Result(
                 policy=policy,
-                stale_wait_p50_ms=stats.get("p50", 0.0) / 1e6,
-                stale_wait_p99_ms=stats.get("p99", 0.0) / 1e6,
+                stale_wait_p50_ms=stats["p50"] / 1e6,
+                stale_wait_p99_ms=stats["p99"] / 1e6,
                 freed_entries=len(waits),
             )
         )

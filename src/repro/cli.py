@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Six commands cover the common interactive uses:
+Seven commands cover the common interactive uses:
 
 * ``compare`` — run one workload on D-VMM and D-VMM+Leap, print the
   latency and prefetch-quality comparison (the quickstart, as a CLI);
@@ -13,9 +13,13 @@ Six commands cover the common interactive uses:
   cluster (per-server queue pairs and latency, live-load placement),
   optionally crashing a server mid-run to exercise slab remap and
   archive re-fetch recovery;
+* ``scenario`` — the multi-tenant scenario engine: ``list`` the named
+  traffic mixes, ``run`` one (optionally on the cluster with failure
+  timelines and limit schedules), or ``sweep`` a scenario grid across
+  {cores × servers × prefetchers} and emit the results as JSON;
 * ``perf`` — the CI perf gate: emit a scaled-down profile artifact
-  (``fig13`` or ``cluster``) and compare it against a committed
-  baseline;
+  (``fig13``, ``cluster``, or ``scenarios``) and compare it against a
+  committed baseline;
 * ``figures`` — list the benchmark targets that regenerate each of
   the paper's tables and figures.
 """
@@ -178,10 +182,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--perf-out", metavar="DIR", help="write a BENCH_cluster.json artifact"
     )
 
+    def int_list(text: str) -> list[int]:
+        try:
+            return [int(token) for token in text.split(",") if token]
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected a comma-separated integer list, got {text!r}"
+            ) from None
+
+    scenario = sub.add_parser(
+        "scenario", help="declare/run/sweep multi-tenant traffic scenarios"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_sub.add_parser("list", help="list the registered scenarios")
+
+    def add_scenario_scale_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--wss-pages", type=int, default=2_048,
+                       help="per-tenant working set (pages)")
+        p.add_argument("--accesses", type=int, default=24_000,
+                       help="scenario access budget (split across tenants)")
+        p.add_argument("--seed", type=int, default=42)
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario and print per-tenant metrics"
+    )
+    scenario_run.add_argument("name", help="a scenario from `repro scenario list`")
+    scenario_run.add_argument("--cores", type=int, default=4)
+    scenario_run.add_argument(
+        "--servers",
+        type=int,
+        default=0,
+        help="memory servers (0 = flat remote fabric; failure timelines force a cluster)",
+    )
+    scenario_run.add_argument(
+        "--prefetcher", help="override the scenario's prefetcher choice"
+    )
+    scenario_run.add_argument(
+        "--json", action="store_true", help="emit the result payload as JSON"
+    )
+    add_scenario_scale_args(scenario_run)
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep", help="run scenarios across a {cores x servers x prefetchers} grid"
+    )
+    scenario_sweep.add_argument(
+        "names",
+        nargs="*",
+        help="scenarios to sweep (default: all registered)",
+    )
+    scenario_sweep.add_argument(
+        "--cores", type=int_list, default=[2, 4], metavar="N,N"
+    )
+    scenario_sweep.add_argument(
+        "--servers", type=int_list, default=[2, 4], metavar="N,N"
+    )
+    scenario_sweep.add_argument(
+        "--prefetchers",
+        default="leap,readahead",
+        help="comma-separated prefetcher list",
+    )
+    scenario_sweep.add_argument(
+        "--out", metavar="FILE", help="write the sweep payload as JSON"
+    )
+    add_scenario_scale_args(scenario_sweep)
+
     from repro.perf.__main__ import add_perf_arguments
 
     perf = sub.add_parser(
-        "perf", help="emit/gate a perf artifact (fig13 or cluster profile)"
+        "perf", help="emit/gate a perf artifact (fig13, cluster, or scenarios)"
     )
     add_perf_arguments(perf)
 
@@ -479,6 +548,169 @@ def _run_cluster(args) -> int:
     return 0
 
 
+def _scenario_list() -> int:
+    from repro.scenarios import list_scenarios
+
+    rows = []
+    for scenario in list_scenarios():
+        extras = []
+        if scenario.popularity_skew is not None:
+            extras.append(f"zipf {scenario.popularity_skew:g}")
+        if scenario.memory_schedule:
+            extras.append("limit schedule")
+        if scenario.failures:
+            extras.append("failures")
+        rows.append(
+            (
+                scenario.name,
+                len(scenario.tenants),
+                ", ".join(extras) or "-",
+                scenario.description,
+            )
+        )
+    print(
+        format_table(
+            ["scenario", "tenants", "features", "description"],
+            rows,
+            title="Run with: repro scenario run <name>",
+        )
+    )
+    return 0
+
+
+def _scenario_run(args) -> int:
+    import json
+
+    from repro.scenarios import run_scenario
+
+    try:
+        payload = run_scenario(
+            args.name,
+            seed=args.seed,
+            cores=args.cores,
+            servers=args.servers,
+            prefetcher=args.prefetcher,
+            wss_pages=args.wss_pages,
+            total_accesses=args.accesses,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    config = payload["config"]
+    print(
+        format_table(
+            [
+                "tenant",
+                "workload",
+                "p50 (us)",
+                "p95 (us)",
+                "p99 (us)",
+                "hit rate",
+                "faults",
+                "completion (s)",
+            ],
+            [
+                (
+                    name,
+                    row["workload"],
+                    f"{row['p50_us']:.2f}",
+                    f"{row['p95_us']:.2f}",
+                    f"{row['p99_us']:.2f}",
+                    f"{row['hit_rate']:.1%}",
+                    row["faults"],
+                    f"{row['completion_s']:.3f}",
+                )
+                for name, row in payload["tenants"].items()
+            ],
+            title=f"scenario {payload['scenario']} — {config['cores']} cores, "
+            f"{config['servers']} servers, {config['prefetcher']} "
+            f"({config['engine']} engine)",
+        )
+    )
+    totals = payload["totals"]
+    print(
+        f"\nmakespan: {totals['makespan_s']:.3f}s  faults: {totals['faults']}  "
+        f"migrations: {totals['migrations']}"
+    )
+    unfired = totals.get("unfired_timeline_events", 0)
+    if unfired:
+        print(
+            f"warning: {unfired} scheduled event(s) (memory phases / "
+            f"failures) never fired — the run ended first (raise "
+            f"--accesses or use earlier event times)"
+        )
+    if "recovery" in payload:
+        recovery = payload["recovery"]
+        print(
+            f"recovery: {recovery['remapped_slabs']} slabs remapped, "
+            f"{recovery['refetched_pages']} pages re-fetched, "
+            f"{recovery['lost_pages']} lost"
+        )
+    return 0
+
+
+def _scenario_sweep(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.scenarios import scenario_names, sweep_scenarios
+
+    names = args.names or scenario_names()
+    prefetchers = [token for token in args.prefetchers.split(",") if token]
+    try:
+        payload = sweep_scenarios(
+            names,
+            cores=args.cores,
+            servers=args.servers,
+            prefetchers=prefetchers,
+            seed=args.seed,
+            wss_pages=args.wss_pages,
+            total_accesses=args.accesses,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = []
+    for run in payload["runs"]:
+        worst_p95 = max(row["p95_us"] for row in run["tenants"].values())
+        rows.append(
+            (
+                run["scenario"],
+                run["cores"],
+                run["servers"],
+                run["prefetcher"],
+                f"{worst_p95:.2f}",
+                f"{run['totals']['makespan_s']:.3f}",
+                run["totals"]["faults"],
+            )
+        )
+    print(
+        format_table(
+            [
+                "scenario",
+                "cores",
+                "servers",
+                "prefetcher",
+                "worst p95 (us)",
+                "makespan (s)",
+                "faults",
+            ],
+            rows,
+            title=f"{len(payload['runs'])} grid points "
+            f"({len(names)} scenarios, seed {args.seed})",
+        )
+    )
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "figures":
@@ -498,6 +730,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_concurrent(args)
     if args.command == "cluster":
         return _run_cluster(args)
+    if args.command == "scenario":
+        if args.scenario_command == "list":
+            return _scenario_list()
+        if args.scenario_command == "run":
+            return _scenario_run(args)
+        return _scenario_sweep(args)
     if args.command == "perf":
         from repro.perf.__main__ import run as perf_run
 

@@ -32,9 +32,22 @@ class MemoryCgroup:
             raise ValueError(f"high_watermark must be in (0, 1], got {high_watermark}")
         self.name = name
         self.limit_pages = limit_pages
+        self._high_watermark = high_watermark
         self.high_watermark_pages = max(1, int(limit_pages * high_watermark))
         self.charged_pages = 0
         self.peak_charged_pages = 0
+
+    def resize(self, limit_pages: int) -> None:
+        """Change the hard limit (a ``memory.max`` write, mid-run).
+
+        Shrinking may leave the cgroup *over* its new limit; the caller
+        (the VMM) is expected to reclaim down to it — ``charge`` keeps
+        refusing growth in the meantime.
+        """
+        if limit_pages <= 0:
+            raise ValueError(f"limit_pages must be positive, got {limit_pages}")
+        self.limit_pages = limit_pages
+        self.high_watermark_pages = max(1, int(limit_pages * self._high_watermark))
 
     @property
     def available_pages(self) -> int:

@@ -157,6 +157,33 @@ class VirtualMemoryManager:
     def process(self, pid: int) -> ProcessMemory:
         return self._processes[pid]
 
+    def resize_limit(self, pid: int, limit_pages: int, now: int) -> int:
+        """Change *pid*'s cgroup limit mid-run (a limit schedule step).
+
+        Shrinking evicts the process's coldest pages — cache entries
+        first, then resident mappings — until it fits under the new
+        limit, exactly as writing ``memory.max`` triggers reclaim in
+        the kernel.  Returns the number of pages reclaimed.
+        """
+        process = self._processes[pid]
+        process.cgroup.resize(limit_pages)
+        reclaimed = 0
+        while process.cgroup.charged_pages > limit_pages:
+            if self._drop_own_cache_page(process, now, include_inflight=True):
+                reclaimed += 1
+                continue
+            resident = (
+                process.resident_lru.inactive_count
+                + process.resident_lru.active_count
+            )
+            if not resident:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"pid {pid}: over limit {limit_pages} with nothing reclaimable"
+                )
+            self._evict_one(process, now)
+            reclaimed += 1
+        return reclaimed
+
     @property
     def processes(self) -> list[ProcessMemory]:
         return list(self._processes.values())

@@ -35,9 +35,23 @@ def percentile(samples: Sequence[int], p: float) -> float:
 
 
 def summarize(samples: Sequence[int]) -> dict[str, float]:
-    """Common summary statistics used in the benchmark reports."""
+    """Common summary statistics used in the benchmark reports.
+
+    Always returns the full key set: a kind with zero samples (e.g. no
+    prefetch hits in a short run) yields a zeroed row rather than a
+    bare ``{"count": 0}``, so report consumers can index ``p50``/
+    ``p99``/... unconditionally.
+    """
     if not samples:
-        return {"count": 0}
+        return {
+            "count": 0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
     return {
         "count": len(samples),
         "mean": sum(samples) / len(samples),

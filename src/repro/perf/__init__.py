@@ -27,16 +27,19 @@ from repro.perf.artifacts import (
     write_artifact,
 )
 from repro.perf.profile import (
+    SCENARIO_PROFILE_NAMES,
     cluster_profile,
     fig13_profile,
     percentiles_us,
     profile_cluster,
     profile_concurrent,
+    scenarios_profile,
 )
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "GateViolation",
+    "SCENARIO_PROFILE_NAMES",
     "artifact_path",
     "cluster_profile",
     "compare_artifacts",
@@ -45,5 +48,6 @@ __all__ = [
     "percentiles_us",
     "profile_cluster",
     "profile_concurrent",
+    "scenarios_profile",
     "write_artifact",
 ]

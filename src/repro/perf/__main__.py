@@ -1,8 +1,9 @@
 """CI perf-gate entry point: ``python -m repro.perf``.
 
 Runs a scaled-down profile through the concurrent engine — the Figure
-13 mix (``--profile fig13``, the default) or the multi-server memory
-cluster (``--profile cluster``) — writes ``BENCH_<profile>.json``, and
+13 mix (``--profile fig13``, the default), the multi-server memory
+cluster (``--profile cluster``), or the multi-tenant scenario set
+(``--profile scenarios``) — writes ``BENCH_<profile>.json``, and
 — when ``--baseline`` is given — fails (exit 1) if any gated metric
 regressed past the budget.  See PERF_BUDGETS.md for the budgets and
 the waiver policy.
@@ -19,9 +20,9 @@ from repro.perf.artifacts import (
     load_artifact,
     write_artifact,
 )
-from repro.perf.profile import cluster_profile, fig13_profile
+from repro.perf.profile import cluster_profile, fig13_profile, scenarios_profile
 
-PROFILES = ("fig13", "cluster")
+PROFILES = ("fig13", "cluster", "scenarios")
 
 
 def add_perf_arguments(parser: argparse.ArgumentParser) -> None:
@@ -67,6 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_profile(args: argparse.Namespace) -> dict:
+    if args.profile == "scenarios":
+        # The scenario set runs 3 multi-tenant mixes; halve the
+        # per-run scale relative to the single-mix profiles so the
+        # smoke job stays a smoke job.
+        artifact, _ = scenarios_profile(
+            wss_pages=args.wss_pages // 2,
+            accesses=args.accesses // 2,
+            seed=args.seed,
+            cores=args.cores,
+            servers=args.servers,
+        )
+        return artifact
     if args.profile == "cluster":
         artifact, _ = cluster_profile(
             wss_pages=args.wss_pages,

@@ -27,7 +27,15 @@ __all__ = [
     "profile_cluster",
     "fig13_profile",
     "cluster_profile",
+    "scenarios_profile",
+    "SCENARIO_PROFILE_NAMES",
 ]
+
+#: Scenarios the CI perf gate runs: a skewed web tier (steady-state
+#: multi-tenant latency), an interference mix (noisy neighbor), and a
+#: failure drill (fault-path latency under recovery) — one per regime
+#: the scenario engine must keep fast.
+SCENARIO_PROFILE_NAMES = ("web-tier-zipf", "noisy-neighbor", "failover-under-load")
 
 
 def percentiles_us(samples: list[int]) -> dict[str, float]:
@@ -234,3 +242,63 @@ def cluster_profile(
         wall_clock_s=wall_clock_s,
     )
     return artifact, result
+
+
+def scenarios_profile(
+    wss_pages: int = 1024,
+    accesses: int = 6000,
+    seed: int = 42,
+    cores: int = 2,
+    servers: int = 3,
+    scenarios: tuple[str, ...] = SCENARIO_PROFILE_NAMES,
+) -> tuple[dict, list[dict]]:
+    """Run the gated scenario set on the cluster engine.
+
+    Returns ``(artifact, payloads)``: per-tenant rows land in ``apps``
+    keyed ``<scenario>/<tenant>`` (gated on ``p95_us``/``completion_s``
+    like any app row) and per-server read latencies in ``servers``
+    keyed ``<scenario>/<server_id>`` — so a regression in steady-state,
+    interference, or failure-recovery latency fails the gate.
+    """
+    from repro.scenarios import run_scenario
+
+    apps: dict[str, dict] = {}
+    server_rows: dict[str, dict] = {}
+    payloads: list[dict] = []
+    started = time.perf_counter()
+    for name in scenarios:
+        payload = run_scenario(
+            name,
+            seed=seed,
+            cores=cores,
+            servers=servers,
+            wss_pages=wss_pages,
+            total_accesses=accesses,
+        )
+        payloads.append(payload)
+        for tenant, row in payload["tenants"].items():
+            apps[f"{name}/{tenant}"] = dict(row)
+        for server_id, row in payload.get("servers", {}).items():
+            server_rows[f"{name}/{server_id}"] = dict(row)
+    wall_clock_s = time.perf_counter() - started
+    artifact = {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "bench": "scenarios",
+        "engine": "scenario",
+        "config": {
+            "seed": seed,
+            "cores": cores,
+            "servers": servers,
+            "wss_pages": wss_pages,
+            "accesses": accesses,
+            "scenarios": list(scenarios),
+            "system": "d-vmm+leap+cluster",
+        },
+        "apps": apps,
+        "servers": server_rows,
+        "totals": {
+            payload["scenario"]: dict(payload["totals"]) for payload in payloads
+        },
+        "wall_clock_s": round(wall_clock_s, 3),
+    }
+    return artifact, payloads

@@ -47,6 +47,11 @@ class ReadAheadPrefetcher(OffsetPrefetcher):
         self._window = self.max_window
         self._hits_since_prefetch = 0
 
+    @property
+    def window(self) -> int:
+        """Current readahead window (observability; never below 1)."""
+        return self._window
+
     def observe_offset(self, offset: int, now: int, cache_hit: bool) -> None:
         self._prev_offset = self._last_offset
         self._last_offset = offset
@@ -59,19 +64,30 @@ class ReadAheadPrefetcher(OffsetPrefetcher):
             return False
         return abs(self._last_offset - self._prev_offset) == 1
 
+    #: Smallest window that still issues a block; backing off below
+    #: this means readahead has stopped until hits or a sequential
+    #: pair restore it.
+    MIN_WINDOW = 2
+
     def offset_candidates(self, offset: int, now: int) -> list[int]:
         if self._sequential():
             # Optimistic: open the window fully.
             self._window = self.max_window
         elif self._hits_since_prefetch > 0:
             # The last block was useful even without strict sequences;
-            # keep the current window.
-            pass
+            # keep the current window — and if back-off had already
+            # collapsed it below the minimum useful block, restore
+            # that minimum, otherwise the hit feedback loop can never
+            # recover a stopped window (late hits from pages
+            # prefetched before the collapse would be ignored).
+            self._window = max(self._window, self.MIN_WINDOW)
         else:
-            # Pessimistic: no pattern and no hits — back off.
-            self._window //= 2
+            # Pessimistic: no pattern and no hits — back off, bottoming
+            # out at a stopped-but-recoverable one-page window (never
+            # 0, which the integer halving would otherwise stick at).
+            self._window = max(1, self._window // 2)
         self._hits_since_prefetch = 0
-        if self._window < 2:
+        if self._window < self.MIN_WINDOW:
             return []
         start = (offset // self._window) * self._window
         return [

@@ -1,0 +1,46 @@
+"""Declarative multi-tenant traffic scenarios over the full stack.
+
+The scenario subsystem turns the simulator into a traffic-serving
+system you grow scenario-by-scenario: a :class:`Scenario` declares a
+tenant mix (workloads, footprints, Zipf popularity, open-loop bursty
+arrivals, a memory-limit schedule, an optional server-failure
+timeline); the registry names ≥8 built-ins; the runner executes one
+scenario or a {cores × servers × prefetchers} grid on the concurrent
+and cluster engines.  See ``repro scenario list|run|sweep`` and
+``repro perf --profile scenarios``.
+"""
+
+from repro.scenarios.registry import (
+    get_scenario,
+    list_scenarios,
+    register,
+    scenario_names,
+)
+from repro.scenarios.runner import run_scenario, sweep_scenarios
+from repro.scenarios.spec import (
+    WORKLOAD_KINDS,
+    ArrivalSpec,
+    FailureSpec,
+    MemoryPhase,
+    OpenLoopWorkload,
+    Scenario,
+    TenantSpec,
+    build_tenant_workloads,
+)
+
+__all__ = [
+    "WORKLOAD_KINDS",
+    "ArrivalSpec",
+    "FailureSpec",
+    "MemoryPhase",
+    "OpenLoopWorkload",
+    "Scenario",
+    "TenantSpec",
+    "build_tenant_workloads",
+    "get_scenario",
+    "list_scenarios",
+    "register",
+    "run_scenario",
+    "scenario_names",
+    "sweep_scenarios",
+]

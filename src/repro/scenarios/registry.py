@@ -1,0 +1,260 @@
+"""Named built-in scenarios, constructed from the workload machinery.
+
+Each builder takes a footprint (``wss_pages``, per-tenant working set)
+and a ``total_accesses`` budget so the same scenario runs at full
+benchmark scale, CLI scale, or CI smoke scale.  Register your own with
+:func:`register`; ``repro scenario list`` shows everything known.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    FailureSpec,
+    MemoryPhase,
+    Scenario,
+    TenantSpec,
+)
+
+__all__ = ["get_scenario", "list_scenarios", "register", "scenario_names"]
+
+_BUILDERS: dict[str, Callable[[int, int], Scenario]] = {}
+
+
+def register(name: str):
+    """Decorator: register a ``(wss_pages, total_accesses) -> Scenario``."""
+
+    def wrap(builder: Callable[[int, int], Scenario]):
+        if name in _BUILDERS:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _BUILDERS[name] = builder
+        return builder
+
+    return wrap
+
+
+def scenario_names() -> list[str]:
+    return sorted(_BUILDERS)
+
+
+def get_scenario(
+    name: str, wss_pages: int = 2_048, total_accesses: int = 24_000
+) -> Scenario:
+    """Build a registered scenario at the requested scale."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r} (known: {', '.join(scenario_names())})"
+        ) from None
+    return builder(wss_pages, total_accesses)
+
+
+def list_scenarios(
+    wss_pages: int = 2_048, total_accesses: int = 24_000
+) -> list[Scenario]:
+    """All registered scenarios, built at the given scale."""
+    return [get_scenario(name, wss_pages, total_accesses) for name in scenario_names()]
+
+
+# ---------------------------------------------------------------------------
+# Built-ins
+# ---------------------------------------------------------------------------
+
+#: A storm-shaped arrival schedule: short calm stretches, long dense bursts.
+_STORM = ArrivalSpec(
+    think_ns=2_000,
+    burst_think_ns=50,
+    burst_accesses=(256, 512),
+    calm_accesses=(128, 512),
+)
+#: Gentle diurnal-ish traffic: mostly calm with occasional bursts.
+_WEB = ArrivalSpec(
+    think_ns=1_500,
+    burst_think_ns=200,
+    burst_accesses=(64, 256),
+    calm_accesses=(512, 1_024),
+)
+#: Steady batch arrivals — no bursts, fixed gaps.
+_BATCH = ArrivalSpec(
+    think_ns=1_000,
+    burst_think_ns=1_000,
+    burst_accesses=(1, 1),
+    calm_accesses=(1_024, 1_024),
+    jitter=False,
+)
+
+
+@register("web-tier-zipf")
+def _web_tier_zipf(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="web-tier-zipf",
+        description="Four web front-end tenants, Zipf-skewed popularity, bursty open-loop traffic",
+        tenants=tuple(
+            TenantSpec(
+                name=f"web-{i}",
+                workload="zipfian",
+                wss_pages=wss_pages,
+                params={"skew": 0.99},
+                arrival=_WEB,
+            )
+            for i in range(4)
+        ),
+        total_accesses=total_accesses,
+        popularity_skew=1.1,
+    )
+
+
+@register("analytics-batch")
+def _analytics_batch(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="analytics-batch",
+        description="Two batch analytics jobs (graph + matmul): streaming-heavy, steady arrivals",
+        tenants=(
+            TenantSpec(name="graph", workload="powergraph", wss_pages=wss_pages, arrival=_BATCH),
+            TenantSpec(name="matmul", workload="numpy", wss_pages=wss_pages, arrival=_BATCH),
+        ),
+        total_accesses=total_accesses,
+        memory_fraction=0.5,
+    )
+
+
+@register("memcached-storm")
+def _memcached_storm(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="memcached-storm",
+        description="Three cache tenants under a request storm: dense bursts, hot-key skew",
+        tenants=tuple(
+            TenantSpec(
+                name=f"cache-{i}",
+                workload="memcached",
+                wss_pages=wss_pages,
+                arrival=_STORM,
+            )
+            for i in range(3)
+        ),
+        total_accesses=total_accesses,
+        popularity_skew=0.8,
+    )
+
+
+@register("noisy-neighbor")
+def _noisy_neighbor(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="noisy-neighbor",
+        description="A random-access hog colocated with two well-behaved tenants",
+        tenants=(
+            TenantSpec(
+                name="hog",
+                workload="random",
+                wss_pages=wss_pages * 2,
+                weight=2.0,
+                arrival=_STORM,
+            ),
+            TenantSpec(name="oltp", workload="voltdb", wss_pages=wss_pages, arrival=_WEB),
+            TenantSpec(
+                name="web",
+                workload="zipfian",
+                wss_pages=wss_pages,
+                params={"skew": 0.99},
+                arrival=_WEB,
+            ),
+        ),
+        total_accesses=total_accesses,
+    )
+
+
+@register("phase-shift")
+def _phase_shift(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="phase-shift",
+        description="Local memory shrinks mid-run (70% -> 35%): the limit-schedule cliff",
+        tenants=(
+            TenantSpec(name="graph", workload="powergraph", wss_pages=wss_pages, arrival=_BATCH),
+            TenantSpec(name="cache", workload="memcached", wss_pages=wss_pages, arrival=_WEB),
+        ),
+        total_accesses=total_accesses,
+        memory_fraction=0.7,
+        memory_schedule=(MemoryPhase(at_ms=4.0, memory_fraction=0.35),),
+    )
+
+
+@register("failover-under-load")
+def _failover_under_load(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="failover-under-load",
+        description="Bursty multi-tenant traffic while a memory server crashes and returns",
+        tenants=(
+            TenantSpec(
+                name="web",
+                workload="zipfian",
+                wss_pages=wss_pages,
+                params={"skew": 0.99},
+                arrival=_WEB,
+            ),
+            TenantSpec(name="oltp", workload="voltdb", wss_pages=wss_pages, arrival=_WEB),
+            TenantSpec(name="cache", workload="memcached", wss_pages=wss_pages, arrival=_STORM),
+        ),
+        total_accesses=total_accesses,
+        failures=(
+            FailureSpec(at_ms=2.0, server_id=0, action="fail"),
+            FailureSpec(at_ms=12.0, server_id=0, action="recover"),
+        ),
+    )
+
+
+@register("stride-adversary")
+def _stride_adversary(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="stride-adversary",
+        description="Interleaved stride patterns that defeat sequential readahead (§2.3)",
+        tenants=(
+            TenantSpec(
+                name="stride-10",
+                workload="stride",
+                wss_pages=wss_pages,
+                params={"stride": 10},
+            ),
+            TenantSpec(
+                name="stride-7",
+                workload="stride",
+                wss_pages=wss_pages,
+                params={"stride": 7},
+            ),
+            TenantSpec(name="scan", workload="sequential", wss_pages=wss_pages),
+        ),
+        total_accesses=total_accesses,
+    )
+
+
+@register("kitchen-sink")
+def _kitchen_sink(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="kitchen-sink",
+        description="One of everything: skewed tenants, bursts, a limit cut, and a server crash",
+        tenants=(
+            TenantSpec(
+                name="web",
+                workload="zipfian",
+                wss_pages=wss_pages,
+                params={"skew": 0.99},
+                weight=2.0,
+                arrival=_WEB,
+            ),
+            TenantSpec(name="graph", workload="powergraph", wss_pages=wss_pages, arrival=_BATCH),
+            TenantSpec(name="cache", workload="memcached", wss_pages=wss_pages, arrival=_STORM),
+            TenantSpec(
+                name="stride",
+                workload="stride",
+                wss_pages=wss_pages,
+                params={"stride": 10},
+            ),
+        ),
+        total_accesses=total_accesses,
+        popularity_skew=0.9,
+        memory_fraction=0.6,
+        memory_schedule=(MemoryPhase(at_ms=6.0, memory_fraction=0.4),),
+        failures=(FailureSpec(at_ms=3.0, server_id=1, action="fail"),),
+    )

@@ -1,0 +1,262 @@
+"""Execute scenarios and scenario grids against the full stack.
+
+``run_scenario`` wires one :class:`~repro.scenarios.spec.Scenario`
+onto a machine — the flat remote fabric or the multi-server cluster —
+and reduces the run to a JSON-shaped payload with per-tenant latency
+percentiles, hit rates, and completion times (plus per-server and
+recovery sections for cluster runs).
+
+``sweep_scenarios`` runs a scenario list across a
+{cores × servers × prefetchers} grid on the cluster engine — the
+multi-tenant counterpart of the paper's configuration sweeps.  All
+numbers are simulated and therefore bit-deterministic under a fixed
+seed; payloads deliberately carry no wall-clock so sweep JSON is
+byte-identical across repeated runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cluster import FailureEvent
+from repro.mem.vmm import AccessKind
+from repro.perf.profile import percentiles_us
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import Scenario, build_tenant_workloads
+from repro.sim.machine import PREFETCHERS, Machine, cluster_config, leap_config
+from repro.sim.units import ms
+
+__all__ = ["run_scenario", "sweep_scenarios"]
+
+_HIT_KINDS = (AccessKind.CACHE_HIT, AccessKind.CACHE_HIT_INFLIGHT)
+
+
+def _resolve_scenario(
+    scenario: Scenario | str, wss_pages: int | None, total_accesses: int | None
+) -> Scenario:
+    if isinstance(scenario, str):
+        kwargs = {}
+        if wss_pages is not None:
+            kwargs["wss_pages"] = wss_pages
+        if total_accesses is not None:
+            kwargs["total_accesses"] = total_accesses
+        return get_scenario(scenario, **kwargs)
+    if wss_pages is not None or total_accesses is not None:
+        # A built Scenario already carries its scale; silently running
+        # it at a different one would mislabel the results.
+        raise ValueError(
+            "wss_pages/total_accesses apply only when the scenario is "
+            "given by name; rebuild the Scenario at the desired scale"
+        )
+    return scenario
+
+
+def _build_machine(
+    scenario: Scenario, seed: int, cores: int, servers: int, prefetcher: str
+) -> Machine:
+    if servers > 0:
+        for event in scenario.failures:
+            if not 0 <= event.server_id < servers:
+                raise ValueError(
+                    f"scenario {scenario.name!r}: failure targets server "
+                    f"{event.server_id} but the cluster has servers "
+                    f"0..{servers - 1}"
+                )
+        # Size slabs to ~1/4 of the largest tenant footprint so slab
+        # placement spreads across servers even at smoke scale
+        # (cluster_config's 1024-page default assumes benchmark-sized
+        # working sets).
+        max_wss = max(t.wss_pages for t in scenario.tenants)
+        config = cluster_config(
+            seed=seed,
+            n_cores=cores,
+            remote_machines=servers,
+            prefetcher=prefetcher,
+            slab_pages=max(128, min(1024, max_wss // 4)),
+        )
+    else:
+        config = leap_config(seed=seed, n_cores=cores, prefetcher=prefetcher)
+    return Machine(config)
+
+
+def _apply_limit_phase(machine: Machine, workloads, fraction: float, at: int) -> None:
+    """One limit-schedule step: resize every tenant's cgroup limit."""
+    for pid, workload in workloads.items():
+        limit = max(2, int(workload.wss_pages * fraction))
+        machine.set_memory_limit(pid, limit, at)
+
+
+def _limit_timeline(scenario: Scenario, machine: Machine, workloads) -> list:
+    """Timeline events applying the local-memory limit schedule."""
+    return [
+        (
+            ms(phase.at_ms),
+            lambda at, fraction=phase.memory_fraction: _apply_limit_phase(
+                machine, workloads, fraction, at
+            ),
+        )
+        for phase in scenario.memory_schedule
+    ]
+
+
+def _tenant_rows(result, names, workloads) -> dict[str, dict]:
+    rows: dict[str, dict] = {}
+    for pid, name in names.items():
+        summary = result.processes[pid]
+        hits = sum(summary.kind_counts.get(kind, 0) for kind in _HIT_KINDS)
+        faults = hits + summary.kind_counts.get(AccessKind.MAJOR_FAULT, 0)
+        row = {
+            key: round(value, 3)
+            for key, value in percentiles_us(summary.fault_latencies).items()
+        }
+        row.update(
+            workload=workloads[pid].name,
+            completion_s=round(summary.completion_seconds, 6),
+            accesses=summary.accesses,
+            faults=faults,
+            hit_rate=round(hits / faults, 4) if faults else 0.0,
+            core_wait_ms=round(summary.core_wait_ns / 1e6, 3),
+            migrations=summary.migrations,
+        )
+        rows[name] = row
+    return rows
+
+
+def run_scenario(
+    scenario: Scenario | str,
+    *,
+    seed: int = 42,
+    cores: int = 4,
+    servers: int = 0,
+    prefetcher: str | None = None,
+    wss_pages: int | None = None,
+    total_accesses: int | None = None,
+    max_total_accesses: int | None = None,
+) -> dict:
+    """Run one scenario; returns a JSON-shaped result payload.
+
+    ``servers=0`` runs on the flat remote fabric; any positive count
+    (or a scenario with a failure timeline) uses the multi-server
+    cluster engine.  *scenario* may be a registered name or a built
+    :class:`Scenario`.
+    """
+    scenario = _resolve_scenario(scenario, wss_pages, total_accesses)
+    if servers < 0:
+        raise ValueError(f"servers must be >= 0, got {servers}")
+    if scenario.requires_cluster and servers == 0:
+        servers = 4
+    chosen_prefetcher = prefetcher or scenario.prefetcher or "leap"
+    if chosen_prefetcher not in PREFETCHERS:
+        raise ValueError(
+            f"unknown prefetcher {chosen_prefetcher!r} "
+            f"(choose from {', '.join(PREFETCHERS)})"
+        )
+    machine = _build_machine(scenario, seed, cores, servers, chosen_prefetcher)
+    workloads, names = build_tenant_workloads(scenario, seed)
+    timeline = _limit_timeline(scenario, machine, workloads)
+    common = dict(
+        cores=cores,
+        memory_fraction=scenario.memory_fraction,
+        allow_migration=scenario.allow_migration,
+        max_total_accesses=max_total_accesses,
+        timeline=timeline,
+    )
+    if machine.cluster is not None:
+        failure_plan = [
+            FailureEvent(ms(f.at_ms), f.server_id, f.action) for f in scenario.failures
+        ]
+        result = machine.run_cluster(workloads, failure_plan=failure_plan, **common)
+    else:
+        result = machine.run_concurrent(workloads, **common)
+    payload: dict = {
+        "scenario": scenario.name,
+        "config": {
+            "seed": seed,
+            "cores": cores,
+            "servers": servers,
+            "prefetcher": chosen_prefetcher,
+            "memory_fraction": scenario.memory_fraction,
+            "engine": "cluster" if machine.cluster is not None else "concurrent",
+        },
+        "tenants": _tenant_rows(result, names, workloads),
+        "totals": {
+            "makespan_s": round(result.makespan_ns / 1e9, 6),
+            "migrations": result.migrations,
+            "accesses": sum(s.accesses for s in result.processes.values()),
+            "faults": machine.metrics.faults,
+            # Limit-schedule phases / failure events whose time never
+            # arrived — a short run must not hide that its defining
+            # events never happened.
+            "unfired_timeline_events": result.unfired_timeline_events,
+        },
+    }
+    if machine.cluster is not None:
+        servers_section: dict[str, dict] = {}
+        for server_id, server in sorted(machine.host_agent.remote_agents.items()):
+            row = {
+                key: round(value, 3)
+                for key, value in percentiles_us(server.read_latencies).items()
+            }
+            row.update(server.stats_row())
+            servers_section[str(server_id)] = row
+        payload["servers"] = servers_section
+        payload["recovery"] = machine.host_agent.recovery_stats()
+    return payload
+
+
+def sweep_scenarios(
+    scenarios: Iterable[Scenario | str],
+    *,
+    cores: Sequence[int] = (2, 4),
+    servers: Sequence[int] = (2, 4),
+    prefetchers: Sequence[str] = ("leap", "readahead"),
+    seed: int = 42,
+    wss_pages: int | None = None,
+    total_accesses: int | None = None,
+    max_total_accesses: int | None = None,
+) -> dict:
+    """Run scenarios across a {cores × servers × prefetchers} grid.
+
+    Every grid point runs on the cluster engine (``servers`` must be
+    positive); the returned payload nests one result row per
+    (scenario, cores, servers, prefetcher) combination and is
+    byte-identical across repeated runs at a fixed seed.
+    """
+    resolved = [_resolve_scenario(s, wss_pages, total_accesses) for s in scenarios]
+    if not resolved:
+        raise ValueError("need at least one scenario to sweep")
+    if any(n < 1 for n in servers):
+        raise ValueError("sweep grid servers must be >= 1 (cluster engine)")
+    runs = []
+    for scenario in resolved:
+        for n_cores in cores:
+            for n_servers in servers:
+                for prefetcher in prefetchers:
+                    payload = run_scenario(
+                        scenario,
+                        seed=seed,
+                        cores=n_cores,
+                        servers=n_servers,
+                        prefetcher=prefetcher,
+                        max_total_accesses=max_total_accesses,
+                    )
+                    runs.append(
+                        {
+                            "scenario": scenario.name,
+                            "cores": n_cores,
+                            "servers": n_servers,
+                            "prefetcher": prefetcher,
+                            "tenants": payload["tenants"],
+                            "totals": payload["totals"],
+                        }
+                    )
+    return {
+        "grid": {
+            "scenarios": [s.name for s in resolved],
+            "cores": list(cores),
+            "servers": list(servers),
+            "prefetchers": list(prefetchers),
+            "seed": seed,
+        },
+        "runs": runs,
+    }

@@ -281,6 +281,15 @@ class Machine:
         process.core = new_core
         self.prefetcher.on_process_migrated(pid, old_core, new_core)
 
+    def set_memory_limit(self, pid: int, limit_pages: int, now: int = 0) -> int:
+        """Resize *pid*'s cgroup limit mid-run, reclaiming down to it.
+
+        The hook behind scenario local-memory limit schedules
+        (:mod:`repro.scenarios`): a timeline event calls this at its
+        simulated time.  Returns the number of pages reclaimed.
+        """
+        return self.vmm.resize_limit(pid, limit_pages, now)
+
     # -- execution -----------------------------------------------------------
     def run_concurrent(
         self,
@@ -290,6 +299,7 @@ class Machine:
         warmup: bool = True,
         max_total_accesses: int | None = None,
         allow_migration: bool = True,
+        timeline=None,
     ):
         """Run *workloads* (pid → workload) concurrently across *cores*.
 
@@ -310,6 +320,7 @@ class Machine:
             warmup=warmup,
             max_total_accesses=max_total_accesses,
             allow_migration=allow_migration,
+            timeline=timeline,
         )
 
     # -- cluster management ----------------------------------------------------
@@ -347,6 +358,7 @@ class Machine:
         max_total_accesses: int | None = None,
         allow_migration: bool = True,
         failure_plan=(),
+        timeline=None,
     ):
         """Run *workloads* across N app cores and M memory servers.
 
@@ -369,6 +381,7 @@ class Machine:
             max_total_accesses=max_total_accesses,
             allow_migration=allow_migration,
             failure_plan=failure_plan,
+            timeline=timeline,
         )
 
     # -- measurement management ------------------------------------------------

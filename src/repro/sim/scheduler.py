@@ -83,6 +83,11 @@ class ConcurrentRunResult(RunResult):
 
     cores: dict[int, CoreSummary] = field(default_factory=dict)
     migrations: int = 0
+    #: Timeline events (failure injections, limit-schedule phases)
+    #: whose simulated time never arrived before the run finished —
+    #: surfaced so short runs cannot silently drop the very events
+    #: that define them.
+    unfired_timeline_events: int = 0
 
     @property
     def total_core_wait_ns(self) -> int:
@@ -246,6 +251,7 @@ class ConcurrentScheduler:
                 for core in self.cores
             },
             migrations=self.migrations,
+            unfired_timeline_events=len(self._timeline) - self._timeline_index,
         )
 
 
@@ -324,6 +330,7 @@ def simulate_cluster(
     max_total_accesses: int | None = None,
     allow_migration: bool = True,
     failure_plan: Iterable = (),
+    timeline: Sequence[TimelineEvent] | None = None,
 ) -> ConcurrentRunResult:
     """Run *workloads* on a cluster machine with failure injection.
 
@@ -334,11 +341,13 @@ def simulate_cluster(
     ``fail`` event atomically fails the server and remaps every slab it
     hosted (replica promotion / archive re-fetch / re-replication), so
     the run completes with contents intact whenever a copy survived.
+    Extra *timeline* events (e.g. scenario memory-limit phases) are
+    merged with the failure plan's.
     """
-    timeline: list[TimelineEvent] = []
+    merged: list[TimelineEvent] = list(timeline or ())
     for event in failure_plan:
         if event.action == "fail":
-            timeline.append(
+            merged.append(
                 (
                     event.time_ns,
                     lambda at, server_id=event.server_id: machine.fail_server(
@@ -347,7 +356,7 @@ def simulate_cluster(
                 )
             )
         else:
-            timeline.append(
+            merged.append(
                 (
                     event.time_ns,
                     lambda at, server_id=event.server_id: machine.recover_server(
@@ -363,5 +372,5 @@ def simulate_cluster(
         warmup=warmup,
         max_total_accesses=max_total_accesses,
         allow_migration=allow_migration,
-        timeline=timeline,
+        timeline=merged,
     )

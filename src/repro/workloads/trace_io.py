@@ -2,15 +2,19 @@
 
 Real reproduction work often wants to freeze a trace — to diff two
 prefetchers on *exactly* the same fault stream, to ship a regression
-trace with a bug report, or to import an externally captured access
+trace with a bug report, to replay recorded traffic inside a scenario
+(:mod:`repro.scenarios`), or to import an externally captured access
 log.  Traces serialize to a line-oriented text format::
 
     # repro-trace v1
-    # wss_pages=4096 think_ns=1000
-    vpn[,w]
+    # wss_pages=4096 think_ns=1000 name=recorded
+    vpn[,w][,t<ns>]
 
-One access per line; a trailing ``,w`` marks a write.  The format is
-deliberately trivial so external tools (awk, pandas) can produce it.
+One access per line; a trailing ``,w`` marks a write and ``,t<ns>``
+records a think time that differs from the header default, so a
+save/load round trip reproduces every access *exactly* — vpn, write
+flag, and per-access think time included.  The format is deliberately
+trivial so external tools (awk, pandas) can produce it.
 """
 
 from __future__ import annotations
@@ -31,26 +35,68 @@ def save_trace(
     accesses: Iterable[PageAccess],
     wss_pages: int,
     think_ns: int = 0,
+    name: str = "recorded",
 ) -> int:
-    """Write a trace file; returns the number of accesses written."""
+    """Write a trace file; returns the number of accesses written.
+
+    *think_ns* is the default think time recorded in the header; an
+    access whose ``think_ns`` differs is written with an explicit
+    ``,t<ns>`` suffix so nothing is lost in the round trip.
+    """
     path = Path(path)
+    if any(c.isspace() for c in name) or "=" in name or not name:
+        raise ValueError(f"trace name must be a single token, got {name!r}")
     count = 0
     with path.open("w", encoding="utf-8") as handle:
         handle.write(f"{_HEADER}\n")
-        handle.write(f"# wss_pages={wss_pages} think_ns={think_ns}\n")
+        handle.write(f"# wss_pages={wss_pages} think_ns={think_ns} name={name}\n")
         for access in accesses:
-            suffix = ",w" if access.is_write else ""
-            handle.write(f"{access.vpn}{suffix}\n")
+            parts = [str(access.vpn)]
+            if access.is_write:
+                parts.append("w")
+            if access.think_ns != think_ns:
+                parts.append(f"t{access.think_ns}")
+            handle.write(",".join(parts) + "\n")
             count += 1
     return count
 
 
-def _parse_metadata(line: str) -> dict[str, int]:
-    fields = {}
+#: Header keys that carry integers; everything else stays a string
+#: (int() would mangle e.g. a digit-and-underscore trace *name*).
+_INT_METADATA_KEYS = ("wss_pages", "think_ns")
+
+
+def _parse_metadata(line: str) -> dict[str, object]:
+    fields: dict[str, object] = {}
     for token in line.lstrip("# ").split():
-        name, _, value = token.partition("=")
-        fields[name] = int(value)
+        key, _, value = token.partition("=")
+        fields[key] = int(value) if key in _INT_METADATA_KEYS else value
     return fields
+
+
+def _parse_access(
+    path: Path, line_number: int, line: str, default_think_ns: int
+) -> PageAccess:
+    vpn_text, _, rest = line.partition(",")
+    try:
+        vpn = int(vpn_text)
+    except ValueError as error:
+        raise ValueError(f"{path}:{line_number}: bad vpn {vpn_text!r}") from error
+    is_write = False
+    think_ns = default_think_ns
+    for flag in rest.split(",") if rest else ():
+        if flag == "w":
+            is_write = True
+        elif flag.startswith("t"):
+            try:
+                think_ns = int(flag[1:])
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: bad think flag {flag!r}"
+                ) from error
+        else:
+            raise ValueError(f"{path}:{line_number}: unknown flag {flag!r}")
+    return PageAccess(vpn=vpn, is_write=is_write, think_ns=think_ns)
 
 
 def load_trace(path: str | Path) -> "RecordedWorkload":
@@ -61,45 +107,39 @@ def load_trace(path: str | Path) -> "RecordedWorkload":
         if header != _HEADER:
             raise ValueError(f"{path}: not a repro trace (header {header!r})")
         metadata = _parse_metadata(handle.readline())
+        think_ns = int(metadata.get("think_ns", 0))
         accesses: list[PageAccess] = []
-        think_ns = metadata.get("think_ns", 0)
         for line_number, line in enumerate(handle, start=3):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            vpn_text, _, flag = line.partition(",")
-            try:
-                vpn = int(vpn_text)
-            except ValueError as error:
-                raise ValueError(f"{path}:{line_number}: bad vpn {vpn_text!r}") from error
-            accesses.append(
-                PageAccess(vpn=vpn, is_write=(flag == "w"), think_ns=think_ns)
-            )
+            accesses.append(_parse_access(path, line_number, line, think_ns))
     if not accesses:
         raise ValueError(f"{path}: trace holds no accesses")
     return RecordedWorkload(
         accesses_list=accesses,
-        wss_pages=metadata["wss_pages"],
+        wss_pages=int(metadata["wss_pages"]),
         think_ns=think_ns,
+        name=str(metadata.get("name", "recorded")),
     )
 
 
 class RecordedWorkload(Workload):
     """A workload that replays a fixed, previously recorded trace."""
 
-    name = "recorded"
-
     def __init__(
         self,
         accesses_list: list[PageAccess],
         wss_pages: int,
         think_ns: int = 0,
+        name: str = "recorded",
     ) -> None:
         super().__init__(
             wss_pages=wss_pages,
             total_accesses=len(accesses_list),
             think_ns=think_ns,
         )
+        self.name = name
         for access in accesses_list:
             if not 0 <= access.vpn < wss_pages:
                 raise ValueError(
@@ -107,7 +147,10 @@ class RecordedWorkload(Workload):
                 )
         self._accesses = accesses_list
 
-    def _vpn_stream(self, rng) -> Iterator[int]:  # pragma: no cover - unused
+    def _vpn_stream(self, rng) -> Iterator[int]:
+        """Unreachable by design: :meth:`accesses` replays the trace
+        directly (the base generator would re-draw write flags and
+        think times, corrupting the recording)."""
         raise NotImplementedError("RecordedWorkload overrides accesses()")
 
     def accesses(self) -> Iterator[PageAccess]:

@@ -138,6 +138,37 @@ class TestReadAhead:
         prefetcher.on_fault((PID, 5), 0, False)
         assert prefetcher.candidates((PID, 5), 0) == []
 
+    def test_window_never_bottoms_out_at_zero(self):
+        """Regression: back-off used to halve the window to 0, where it
+        stuck (0 // 2 == 0) — the floor is now clamped at 1."""
+        backend = make_backend_with_layout(256)
+        prefetcher = ReadAheadPrefetcher(backend, max_window=8)
+        for vpn in range(0, 250, 10):
+            prefetcher.on_fault((PID, vpn), 0, False)
+            prefetcher.candidates((PID, vpn), 0)
+        assert prefetcher.window == 1
+
+    def test_late_hit_revives_collapsed_window(self):
+        """Regression: once the window collapsed, the hits branch kept
+        the collapsed (empty) window, so a late hit from an earlier
+        block could never resume prefetching."""
+        backend = make_backend_with_layout(256)
+        prefetcher = ReadAheadPrefetcher(backend, max_window=8)
+        issued = []
+        for vpn in (0, 10, 20, 30, 40):
+            prefetcher.on_fault((PID, vpn), 0, False)
+            issued.append(prefetcher.candidates((PID, vpn), 0))
+        assert issued[-1] == []  # collapsed: readahead stopped
+        # A page prefetched by an early block is finally consumed.
+        prefetcher.on_prefetch_hit((PID, 1), 0)
+        prefetcher.on_fault((PID, 50), 0, False)
+        revived = prefetcher.candidates((PID, 50), 0)
+        assert revived != [], "hit feedback must restore a minimal window"
+        assert prefetcher.window == ReadAheadPrefetcher.MIN_WINDOW
+        # Without further hits the window backs off and stops again.
+        prefetcher.on_fault((PID, 60), 0, False)
+        assert prefetcher.candidates((PID, 60), 0) == []
+
     def test_reset(self):
         backend = make_backend_with_layout()
         prefetcher = ReadAheadPrefetcher(backend, max_window=8)

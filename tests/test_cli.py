@@ -110,3 +110,103 @@ class TestCommands:
                 ["run", name, "--wss-pages", "256", "--accesses", "100"]
             )
             assert args.workload == name
+
+
+class TestScenarioCommands:
+    def test_list_shows_all_registered(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert len(scenario_names()) >= 8
+        for name in scenario_names():
+            assert name in out
+
+    def test_run_small(self, capsys):
+        code = main(
+            [
+                "scenario", "run", "web-tier-zipf",
+                "--wss-pages", "256", "--accesses", "1200",
+                "--cores", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "web-0" in out
+        assert "makespan" in out
+
+    def test_run_cluster_failure_scenario(self, capsys):
+        code = main(
+            [
+                "scenario", "run", "failover-under-load",
+                "--wss-pages", "256", "--accesses", "2400",
+                "--cores", "2", "--servers", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster engine" in out
+        assert "recovery:" in out
+
+    def test_run_warns_when_scheduled_events_never_fire(self, capsys):
+        """phase-shift's 4 ms limit cut lies past a tiny run's end; the
+        CLI must say so instead of silently running steady-state."""
+        code = main(
+            [
+                "scenario", "run", "phase-shift",
+                "--wss-pages", "256", "--accesses", "600", "--cores", "2",
+            ]
+        )
+        assert code == 0
+        assert "never fired" in capsys.readouterr().out
+
+    def test_run_json_payload(self, capsys):
+        import json
+
+        code = main(
+            [
+                "scenario", "run", "stride-adversary", "--json",
+                "--wss-pages", "256", "--accesses", "900", "--cores", "2",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "stride-adversary"
+        assert set(payload["tenants"]) == {"stride-10", "stride-7", "scan"}
+
+    def test_run_unknown_scenario_fails_cleanly(self, capsys):
+        code = main(["scenario", "run", "sap-hana"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_unknown_prefetcher_fails_cleanly(self, capsys):
+        code = main(
+            ["scenario", "run", "web-tier-zipf", "--prefetcher", "psychic"]
+        )
+        assert code == 2
+        assert "unknown prefetcher" in capsys.readouterr().err
+
+    def test_sweep_writes_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "sweep.json"
+        code = main(
+            [
+                "scenario", "sweep", "web-tier-zipf",
+                "--cores", "2", "--servers", "2",
+                "--prefetchers", "leap",
+                "--wss-pages", "256", "--accesses", "900",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "grid points" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["grid"]["prefetchers"] == ["leap"]
+        assert len(payload["runs"]) == 1
+
+    def test_sweep_rejects_bad_core_list(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenario", "sweep", "--cores", "two,four"]
+            )

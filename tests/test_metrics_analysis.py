@@ -101,8 +101,25 @@ class TestLatencyRecorder:
         a.merge(b)
         assert sorted(a.samples()) == [1, 2, 3]
 
-    def test_summarize_empty(self):
-        assert summarize([]) == {"count": 0}
+    def test_summarize_empty_returns_full_zeroed_row(self):
+        """Zero samples must still yield every percentile key, so report
+        consumers can index p50/p99/... unconditionally (regression:
+        a bare {"count": 0} used to KeyError downstream)."""
+        row = summarize([])
+        assert row == {
+            "count": 0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
+        assert set(row) == set(summarize([5, 10, 15]))
+
+    def test_recorder_summary_of_missing_kind_is_zeroed(self):
+        recorder = LatencyRecorder()
+        assert recorder.summary(["prefetch"])["p99"] == 0.0
 
 
 class TestPrefetchMetrics:

@@ -12,6 +12,7 @@ from repro.perf import (
     fig13_profile,
     load_artifact,
     percentiles_us,
+    scenarios_profile,
     write_artifact,
 )
 from repro.perf.__main__ import main as perf_main
@@ -232,3 +233,67 @@ class TestClusterProfile:
         agent = result.machine.host_agent
         checked, mismatched = agent.verify_contents()
         assert checked > 0 and mismatched == 0
+
+
+class TestScenariosProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return scenarios_profile(wss_pages=256, accesses=1200, cores=2, servers=2)
+
+    def test_artifact_shape(self, profile):
+        artifact, payloads = profile
+        assert artifact["bench"] == "scenarios"
+        assert artifact["engine"] == "scenario"
+        assert len(payloads) == 3
+        scenarios = set(artifact["config"]["scenarios"])
+        assert scenarios == {"web-tier-zipf", "noisy-neighbor", "failover-under-load"}
+        # Per-tenant rows keyed "<scenario>/<tenant>", gate-compatible.
+        assert all("/" in key for key in artifact["apps"])
+        for row in artifact["apps"].values():
+            assert row["p50_us"] <= row["p95_us"] <= row["p99_us"]
+            assert row["completion_s"] > 0
+        assert {key.split("/")[0] for key in artifact["apps"]} == scenarios
+        assert artifact["totals"].keys() == scenarios
+        # The failure scenario exercises the fault path in the gate:
+        # the crash must actually have fired (a server is down), not
+        # been scheduled past the smoke run's end.
+        assert any(
+            not row["alive"]
+            for key, row in artifact["servers"].items()
+            if key.startswith("failover-under-load/")
+        )
+        assert artifact["totals"]["failover-under-load"]["unfired_timeline_events"] <= 1
+
+    def test_deterministic(self, profile):
+        artifact, _ = profile
+        again, _ = scenarios_profile(wss_pages=256, accesses=1200, cores=2, servers=2)
+        assert again["apps"] == artifact["apps"]
+        assert again["servers"] == artifact["servers"]
+        assert again["totals"] == artifact["totals"]
+
+    def test_cli_scenarios_gate_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        args = ["--profile", "scenarios", "--wss-pages", "512"]
+        args += ["--accesses", "2400", "--cores", "2", "--servers", "2"]
+        assert perf_main(["--out", str(out), *args]) == 0
+        baseline = out / "BENCH_scenarios.json"
+        assert baseline.exists()
+        code = perf_main(
+            ["--out", str(tmp_path / "second"), *args, "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "perf gate OK" in capsys.readouterr().out
+
+    def test_gate_catches_scenario_regression(self, profile, tmp_path, capsys):
+        artifact, _ = profile
+        doctored = json.loads(json.dumps(artifact))
+        for row in doctored["apps"].values():
+            row["p95_us"] *= 0.5  # impossibly fast baseline
+        baseline = write_artifact(doctored, tmp_path)
+        args = ["--profile", "scenarios", "--wss-pages", "512", "--accesses", "2400"]
+        args += ["--cores", "2", "--servers", "2"]
+        code = perf_main(
+            ["--out", str(tmp_path / "out"), *args, "--baseline", str(baseline)]
+        )
+        assert code == 1
+        assert "PERF GATE FAILED" in capsys.readouterr().out

@@ -12,8 +12,10 @@ from repro.workloads.patterns import (
     StrideWorkload,
     ZipfianWorkload,
 )
+from repro.sim.process import PageAccess
 from repro.workloads.powergraph import PowerGraphWorkload
 from repro.workloads.segments import SegmentMixWorkload
+from repro.workloads.trace_io import RecordedWorkload, load_trace, save_trace
 from repro.workloads.voltdb import VoltDBWorkload
 
 ALL_WORKLOADS = [
@@ -181,3 +183,90 @@ class TestSegmentMixValidation:
         )
         vpns = {a.vpn for a in workload.accesses()}
         assert max(vpns) < 200  # hot region = first 20% of pages
+
+
+class TestTraceRoundTrip:
+    """save_trace/load_trace must reproduce a recording exactly —
+    scenarios replay recorded traces, so nothing may be lost."""
+
+    def make_accesses(self):
+        return [
+            PageAccess(vpn=3, is_write=False, think_ns=500),
+            PageAccess(vpn=7, is_write=True, think_ns=500),
+            PageAccess(vpn=0, is_write=False, think_ns=2_500),  # think override
+            PageAccess(vpn=9, is_write=True, think_ns=0),  # another override
+        ]
+
+    def test_exact_round_trip(self, tmp_path):
+        path = tmp_path / "t.trace"
+        accesses = self.make_accesses()
+        written = save_trace(path, accesses, wss_pages=16, think_ns=500, name="bug-42")
+        assert written == len(accesses)
+        loaded = load_trace(path)
+        assert list(loaded.accesses()) == accesses
+        assert loaded.wss_pages == 16
+        assert loaded.think_ns == 500
+        assert loaded.name == "bug-42"
+        assert loaded.total_accesses == len(accesses)
+
+    def test_double_round_trip_is_stable(self, tmp_path):
+        first = tmp_path / "a.trace"
+        second = tmp_path / "b.trace"
+        save_trace(first, self.make_accesses(), wss_pages=16, think_ns=500, name="x")
+        loaded = load_trace(first)
+        save_trace(
+            second,
+            loaded.accesses(),
+            wss_pages=loaded.wss_pages,
+            think_ns=loaded.think_ns,
+            name=loaded.name,
+        )
+        assert first.read_text() == second.read_text()
+
+    def test_workload_recording_round_trips(self, tmp_path):
+        workload = ZipfianWorkload(128, 500, seed=9, write_fraction=0.3)
+        path = tmp_path / "zipf.trace"
+        save_trace(
+            path, workload.accesses(), wss_pages=128, think_ns=workload.think_ns
+        )
+        loaded = load_trace(path)
+        assert list(loaded.accesses()) == list(workload.accesses())
+
+    def test_numeric_looking_name_survives(self, tmp_path):
+        """A digit-and-underscore name must stay a string — int()
+        accepts underscore separators and would mangle it to 202607."""
+        path = tmp_path / "t.trace"
+        save_trace(path, self.make_accesses(), wss_pages=16, think_ns=500, name="2026_07")
+        assert load_trace(path).name == "2026_07"
+
+    def test_rejects_multi_token_name(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "t", [], wss_pages=4, name="two words")
+
+    def test_rejects_unknown_flag(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# repro-trace v1\n# wss_pages=4 think_ns=0 name=x\n1,q\n")
+        with pytest.raises(ValueError, match="unknown flag"):
+            load_trace(path)
+
+    def test_rejects_bad_vpn_and_empty(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# repro-trace v1\n# wss_pages=4 think_ns=0\nnope\n")
+        with pytest.raises(ValueError, match="bad vpn"):
+            load_trace(path)
+        path.write_text("# repro-trace v1\n# wss_pages=4 think_ns=0\n")
+        with pytest.raises(ValueError, match="no accesses"):
+            load_trace(path)
+
+    def test_vpn_stream_is_unreachable_by_design(self):
+        """RecordedWorkload overrides accesses(); the base generator
+        path must stay closed (it would re-draw write flags)."""
+        workload = RecordedWorkload(
+            [PageAccess(vpn=0)], wss_pages=4, think_ns=0
+        )
+        with pytest.raises(NotImplementedError):
+            next(workload._vpn_stream(None))
+
+    def test_out_of_range_vpn_rejected(self):
+        with pytest.raises(ValueError, match="outside wss"):
+            RecordedWorkload([PageAccess(vpn=99)], wss_pages=4)
