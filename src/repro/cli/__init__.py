@@ -1,0 +1,71 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
+
+Eight commands cover the common interactive uses, one module per
+command group:
+
+* ``compare`` / ``run`` / ``figures`` (:mod:`repro.cli.figures`) — the
+  quickstart D-VMM-vs-Leap comparison, one workload on one
+  configuration, and the paper-figure benchmark listing;
+* ``concurrent`` / ``cluster`` (:mod:`repro.cli.cluster`) — several
+  workloads at once through the multi-core engine, optionally against
+  a multi-server memory cluster with mid-run server crashes;
+* ``scenario`` (:mod:`repro.cli.scenario`) — the multi-tenant scenario
+  engine: ``list`` the named traffic mixes, ``run`` one, or ``sweep``
+  a {cores × servers × prefetchers} grid;
+* ``control`` (:mod:`repro.cli.control`) — governed-vs-static A/B:
+  run a scenario under its online control plane (adaptive prefetcher
+  governor, tenant memory balancer) against static prefetcher arms
+  and report hit rates, policy decisions, and limit trajectories;
+* ``perf`` — the CI perf gate: emit a scaled-down profile artifact
+  (``fig13``, ``cluster``, ``scenarios``, or ``control``) and compare
+  it against a committed baseline.
+
+Each group module registers its subcommands via ``add_parsers(sub)``
+and binds its handler with ``set_defaults(handler=...)``; ``main``
+just parses and dispatches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli import cluster as _cluster
+from repro.cli import control as _control
+from repro.cli import figures as _figures
+from repro.cli import scenario as _scenario
+from repro.cli.common import SYSTEMS, WORKLOADS
+from repro.cli.figures import FIGURES
+
+__all__ = ["FIGURES", "SYSTEMS", "WORKLOADS", "build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Effectively Prefetching Remote Memory with Leap'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _figures.add_parsers(sub)
+    _cluster.add_parsers(sub)
+    _scenario.add_parsers(sub)
+    _control.add_parsers(sub)
+
+    from repro.perf.__main__ import add_perf_arguments, run as perf_run
+
+    perf = sub.add_parser(
+        "perf",
+        help="emit/gate a perf artifact (fig13, cluster, scenarios, or control)",
+    )
+    add_perf_arguments(perf)
+    perf.set_defaults(handler=perf_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,301 @@
+"""Multi-process command group: ``concurrent`` and ``cluster``.
+
+The engine-level entry points: several workloads at once through the
+multi-core scheduler, optionally against the multi-server memory
+cluster with failure injection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import SYSTEMS, WORKLOADS, build_named_workloads
+from repro.metrics.report import format_table
+
+__all__ = ["add_parsers"]
+
+
+def add_parsers(sub) -> None:
+    concurrent = sub.add_parser(
+        "concurrent", help="run several workloads at once across cores"
+    )
+    concurrent.add_argument(
+        "workloads",
+        nargs="+",
+        choices=sorted(WORKLOADS),
+        help="one process per workload name (repeats allowed)",
+    )
+    concurrent.add_argument("--system", choices=sorted(SYSTEMS), default="leap")
+    concurrent.add_argument("--cores", type=int, default=4)
+    concurrent.add_argument("--wss-pages", type=int, default=8_192)
+    concurrent.add_argument("--accesses", type=int, default=30_000)
+    concurrent.add_argument("--memory", type=float, default=0.5)
+    concurrent.add_argument("--seed", type=int, default=42)
+    concurrent.add_argument("--no-migration", action="store_true")
+    concurrent.add_argument(
+        "--perf-out", metavar="DIR", help="write a BENCH_concurrent.json artifact"
+    )
+    concurrent.set_defaults(handler=_run_concurrent)
+
+    cluster = sub.add_parser(
+        "cluster", help="run workloads against a multi-server memory cluster"
+    )
+    cluster.add_argument(
+        "workloads",
+        nargs="+",
+        choices=sorted(WORKLOADS),
+        help="one process per workload name (repeats allowed)",
+    )
+    cluster.add_argument("--servers", type=int, default=4)
+    cluster.add_argument("--server-qps", type=int, default=2)
+    cluster.add_argument(
+        "--latency-spread",
+        type=float,
+        default=0.15,
+        help="seeded per-server fabric-median spread in [0, 1)",
+    )
+    cluster.add_argument("--cores", type=int, default=4)
+    cluster.add_argument("--wss-pages", type=int, default=8_192)
+    cluster.add_argument("--accesses", type=int, default=30_000)
+    cluster.add_argument("--memory", type=float, default=0.5)
+    cluster.add_argument("--seed", type=int, default=42)
+    cluster.add_argument("--no-migration", action="store_true")
+    cluster.add_argument(
+        "--fail-server",
+        type=int,
+        metavar="ID",
+        help="crash this memory server mid-run (slabs are remapped)",
+    )
+    cluster.add_argument(
+        "--fail-at-ms",
+        type=float,
+        default=5.0,
+        help="when to crash it, in ms of measured simulated time",
+    )
+    cluster.add_argument(
+        "--recover-at-ms",
+        type=float,
+        metavar="MS",
+        help="bring the crashed server back (empty) at this time",
+    )
+    cluster.add_argument(
+        "--perf-out", metavar="DIR", help="write a BENCH_cluster.json artifact"
+    )
+    cluster.set_defaults(handler=_run_cluster)
+
+
+def _run_concurrent(args: argparse.Namespace) -> int:
+    from repro.perf.artifacts import write_artifact
+    from repro.perf.profile import percentiles_us, profile_concurrent
+    from repro.sim.machine import Machine
+
+    machine = Machine(SYSTEMS[args.system](args))
+    workloads, names = build_named_workloads(args)
+    try:
+        result = machine.run_concurrent(
+            workloads,
+            cores=args.cores,
+            memory_fraction=args.memory,
+            allow_migration=not args.no_migration,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = []
+    for pid, name in names.items():
+        summary = result.processes[pid]
+        stats = percentiles_us(summary.fault_latencies)
+        rows.append(
+            (
+                name,
+                f"{summary.completion_seconds:.3f}",
+                f"{stats['p50_us']:.2f}",
+                f"{stats['p95_us']:.2f}",
+                f"{stats['p99_us']:.2f}",
+                len(summary.fault_latencies),
+                f"{summary.core_wait_ns / 1e6:.1f}",
+                summary.migrations,
+            )
+        )
+    print(
+        format_table(
+            [
+                "process",
+                "completion (s)",
+                "p50 (us)",
+                "p95 (us)",
+                "p99 (us)",
+                "faults",
+                "core wait (ms)",
+                "migrations",
+            ],
+            rows,
+            title=f"{len(workloads)} processes on {args.cores} cores "
+            f"({args.system}, {args.memory:.0%} memory)",
+        )
+    )
+    print(
+        f"\nmakespan: {result.makespan_ns / 1e9:.3f}s  "
+        f"migrations: {result.migrations}"
+    )
+    if args.perf_out:
+        artifact = profile_concurrent(
+            result,
+            names,
+            bench="concurrent",
+            config={
+                "seed": args.seed,
+                "cores": args.cores,
+                "system": args.system,
+                "workloads": list(args.workloads),
+            },
+        )
+        print(f"wrote {write_artifact(artifact, args.perf_out)}")
+    return 0
+
+
+def _run_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import FailureEvent
+    from repro.perf.artifacts import write_artifact
+    from repro.perf.profile import percentiles_us, profile_cluster
+    from repro.sim.machine import Machine, cluster_config
+    from repro.sim.units import ms
+
+    if args.fail_server is not None:
+        if not 0 <= args.fail_server < args.servers:
+            print(
+                f"error: --fail-server {args.fail_server} outside the cluster "
+                f"(servers are 0..{args.servers - 1})",
+                file=sys.stderr,
+            )
+            return 2
+        if (
+            args.recover_at_ms is not None
+            and args.recover_at_ms <= args.fail_at_ms
+        ):
+            print(
+                f"error: --recover-at-ms {args.recover_at_ms} must be after "
+                f"--fail-at-ms {args.fail_at_ms}",
+                file=sys.stderr,
+            )
+            return 2
+    machine = Machine(
+        cluster_config(
+            seed=args.seed,
+            remote_machines=args.servers,
+            server_qps=args.server_qps,
+            server_latency_spread=args.latency_spread,
+        )
+    )
+    workloads, names = build_named_workloads(args)
+    failure_plan = []
+    if args.fail_server is not None:
+        failure_plan.append(
+            FailureEvent(ms(args.fail_at_ms), args.fail_server, "fail")
+        )
+        if args.recover_at_ms is not None:
+            failure_plan.append(
+                FailureEvent(ms(args.recover_at_ms), args.fail_server, "recover")
+            )
+    try:
+        result = machine.run_cluster(
+            workloads,
+            cores=args.cores,
+            memory_fraction=args.memory,
+            allow_migration=not args.no_migration,
+            failure_plan=failure_plan,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = []
+    for pid, name in names.items():
+        summary = result.processes[pid]
+        stats = percentiles_us(summary.fault_latencies)
+        rows.append(
+            (
+                name,
+                f"{summary.completion_seconds:.3f}",
+                f"{stats['p50_us']:.2f}",
+                f"{stats['p95_us']:.2f}",
+                f"{stats['p99_us']:.2f}",
+                len(summary.fault_latencies),
+            )
+        )
+    print(
+        format_table(
+            ["process", "completion (s)", "p50 (us)", "p95 (us)", "p99 (us)", "faults"],
+            rows,
+            title=f"{len(workloads)} processes on {args.cores} cores x "
+            f"{args.servers} memory servers ({args.memory:.0%} memory)",
+        )
+    )
+    agent = machine.host_agent
+    server_rows = []
+    for server_id, server in sorted(agent.remote_agents.items()):
+        stats = percentiles_us(server.read_latencies)
+        server_rows.append(
+            (
+                server_id,
+                "up" if server.alive else "DOWN",
+                f"{stats['p50_us']:.2f}",
+                f"{stats['p95_us']:.2f}",
+                f"{stats['p99_us']:.2f}",
+                server.reads,
+                server.writes,
+                f"{server.utilization:.2%}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            [
+                "server",
+                "state",
+                "p50 (us)",
+                "p95 (us)",
+                "p99 (us)",
+                "reads",
+                "writes",
+                "util",
+            ],
+            server_rows,
+            title="memory servers",
+        )
+    )
+    recovery = agent.recovery_stats()
+    print(
+        f"\nslot reuse: {recovery['slot_reuses']} reused / "
+        f"{recovery['slot_releases']} released"
+    )
+    if args.fail_server is not None:
+        if machine.cluster.servers[args.fail_server].failures == 0:
+            print(
+                f"warning: the run ended before --fail-at-ms "
+                f"{args.fail_at_ms} — server {args.fail_server} was never "
+                f"crashed (raise --accesses or lower --fail-at-ms)"
+            )
+        else:
+            checked, mismatched = agent.verify_contents()
+            print(
+                f"recovery: {recovery['remapped_slabs']} slabs remapped "
+                f"({recovery['promoted_slabs']} replica promotions, "
+                f"{recovery['refetched_pages']} pages re-fetched from disk, "
+                f"{recovery['lost_pages']} lost); "
+                f"contents: {checked - mismatched}/{checked} identical"
+            )
+    if args.perf_out:
+        artifact = profile_cluster(
+            result,
+            names,
+            bench="cluster",
+            config={
+                "seed": args.seed,
+                "cores": args.cores,
+                "servers": args.servers,
+                "workloads": list(args.workloads),
+            },
+        )
+        print(f"wrote {write_artifact(artifact, args.perf_out)}")
+    return 0

@@ -1,0 +1,109 @@
+"""Control-plane command group: ``repro control``.
+
+Governed-vs-static A/B comparisons: run a scenario once under its
+declared control plane (adaptive prefetcher governor and/or tenant
+memory balancer) and once per static prefetcher, then report aggregate
+hit rates, per-epoch policy decisions, and per-tenant limit
+trajectories — the question the control plane must answer is "does
+closing the loop beat the best static choice", and this command
+answers it in one invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.scenario import add_scenario_scale_args, print_control_report
+from repro.metrics.report import format_table
+
+__all__ = ["add_parsers"]
+
+
+def add_parsers(sub) -> None:
+    control = sub.add_parser(
+        "control",
+        help="A/B a governed scenario against static prefetcher choices",
+    )
+    control.add_argument(
+        "name",
+        nargs="?",
+        default="phase-shift-governed",
+        help="a scenario with a control plane (default: phase-shift-governed)",
+    )
+    control.add_argument("--cores", type=int, default=4)
+    control.add_argument(
+        "--servers",
+        type=int,
+        default=0,
+        help="memory servers (0 = flat remote fabric)",
+    )
+    control.add_argument(
+        "--statics",
+        help="comma-separated static prefetcher arms "
+        "(default: the governor's candidate set)",
+    )
+    control.add_argument(
+        "--json", action="store_true", help="emit the A/B payload as JSON"
+    )
+    add_scenario_scale_args(control)
+    control.set_defaults(handler=_run_control)
+
+
+def _run_control(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import run_control_ab
+
+    statics = None
+    if args.statics:
+        statics = tuple(token for token in args.statics.split(",") if token)
+    try:
+        payload = run_control_ab(
+            args.name,
+            statics=statics,
+            seed=args.seed,
+            cores=args.cores,
+            servers=args.servers,
+            wss_pages=args.wss_pages,
+            total_accesses=args.accesses,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    summary = payload["summary"]
+    rows = []
+    for arm, run in payload["arms"].items():
+        worst_p95 = max(row["p95_us"] for row in run["tenants"].values())
+        rows.append(
+            (
+                arm,
+                f"{summary['hit_rates'][arm]:.1%}",
+                f"{worst_p95:.2f}",
+                f"{run['totals']['makespan_s']:.3f}",
+                run["totals"]["faults"],
+            )
+        )
+    print(
+        format_table(
+            ["arm", "agg hit rate", "worst p95 (us)", "makespan (s)", "faults"],
+            rows,
+            title=f"scenario {payload['scenario']} — governed vs static "
+            f"(seed {payload['config']['seed']}, {payload['config']['cores']} cores)",
+        )
+    )
+    verdict = (
+        f"governed {summary['governed_hit_rate']:.1%} BEATS best static "
+        if summary["governed_beats_static"]
+        else f"governed {summary['governed_hit_rate']:.1%} does NOT beat best static "
+    )
+    print(
+        "\n"
+        + verdict
+        + f"{summary['best_static']} ({summary['best_static_hit_rate']:.1%})"
+    )
+    print_control_report(payload["arms"]["governed"].get("control", {}))
+    return 0

@@ -1,0 +1,126 @@
+"""Single-run command group: ``figures``, ``compare``, and ``run``.
+
+The paper-facing entry points: listing the figure benchmarks, the
+quickstart D-VMM-vs-Leap comparison, and running one workload on one
+configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli.common import SYSTEMS, add_workload_args, make_workload
+from repro.metrics.report import format_table
+
+__all__ = ["FIGURES", "add_parsers"]
+
+FIGURES = [
+    ("fig1", "benchmarks/test_fig1_datapath_breakdown.py", "data path stage budget"),
+    ("fig2", "benchmarks/test_fig2_default_path_latency.py", "default-path latency CDFs"),
+    ("fig3", "benchmarks/test_fig3_pattern_windows.py", "strict vs majority patterns"),
+    ("fig4", "benchmarks/test_fig4_lazy_eviction.py", "cache eviction wait"),
+    ("tab1", "benchmarks/test_tab1_prefetcher_matrix.py", "technique comparison"),
+    ("fig7", "benchmarks/test_fig7_leap_latency.py", "Leap latency (104x headline)"),
+    ("fig8a", "benchmarks/test_fig8a_benefit_breakdown.py", "component breakdown"),
+    ("fig8b", "benchmarks/test_fig8b_slow_storage.py", "prefetcher on HDD/SSD"),
+    ("fig9", "benchmarks/test_fig9_prefetcher_cache.py", "cache adds/misses/completion"),
+    ("fig10", "benchmarks/test_fig10_prefetch_quality.py", "accuracy/coverage/timeliness"),
+    ("fig11", "benchmarks/test_fig11_applications.py", "application grid"),
+    ("fig12", "benchmarks/test_fig12_cache_limit.py", "constrained prefetch cache"),
+    ("fig13", "benchmarks/test_fig13_concurrent_apps.py", "four concurrent applications"),
+    ("ablation", "benchmarks/test_ablation_leap_parameters.py", "Hsize/PWsize/Nsplit sweeps"),
+]
+
+
+def add_parsers(sub) -> None:
+    figures = sub.add_parser("figures", help="list paper-figure benchmark targets")
+    figures.set_defaults(handler=_run_figures)
+
+    compare = sub.add_parser("compare", help="D-VMM default path vs Leap")
+    add_workload_args(compare)
+    compare.set_defaults(handler=_run_compare)
+
+    run = sub.add_parser("run", help="run one workload on one system")
+    add_workload_args(run)
+    run.add_argument("--system", choices=sorted(SYSTEMS), default="leap")
+    run.set_defaults(handler=_run_single)
+
+
+def _run_one(config, args) -> dict:
+    from repro.sim.machine import Machine
+    from repro.sim.simulate import simulate
+
+    machine = Machine(config)
+    workload = make_workload(args)
+    result = simulate(machine, {1: workload}, memory_fraction=args.memory)
+    summary = result.recorder.summary()
+    metrics = result.metrics
+    return {
+        "completion_s": result.completion_seconds(1),
+        "p50_us": summary.get("p50", 0.0) / 1000,
+        "p99_us": summary.get("p99", 0.0) / 1000,
+        "faults": metrics.faults,
+        "misses": metrics.misses,
+        "coverage": metrics.coverage,
+        "accuracy": metrics.accuracy,
+    }
+
+
+def _print_rows(rows: dict[str, dict]) -> None:
+    print(
+        format_table(
+            [
+                "system",
+                "completion (s)",
+                "p50 (us)",
+                "p99 (us)",
+                "faults",
+                "misses",
+                "coverage",
+                "accuracy",
+            ],
+            [
+                (
+                    name,
+                    f"{row['completion_s']:.3f}",
+                    f"{row['p50_us']:.2f}",
+                    f"{row['p99_us']:.2f}",
+                    row["faults"],
+                    row["misses"],
+                    f"{row['coverage']:.1%}",
+                    f"{row['accuracy']:.1%}",
+                )
+                for name, row in rows.items()
+            ],
+        )
+    )
+
+
+def _run_figures(args: argparse.Namespace) -> int:
+    print(
+        format_table(
+            ["id", "benchmark", "regenerates"],
+            FIGURES,
+            title="Run with: pytest <benchmark> --benchmark-only -s",
+        )
+    )
+    return 0
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    rows = {args.system: _run_one(SYSTEMS[args.system](args), args)}
+    _print_rows(rows)
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    from repro.sim.machine import infiniswap_config, leap_config
+
+    rows = {
+        "d-vmm": _run_one(infiniswap_config(seed=args.seed), args),
+        "d-vmm+leap": _run_one(leap_config(seed=args.seed), args),
+    }
+    _print_rows(rows)
+    gain = rows["d-vmm"]["p50_us"] / max(rows["d-vmm+leap"]["p50_us"], 1e-9)
+    print(f"\nmedian fault-latency improvement: {gain:.1f}x")
+    return 0

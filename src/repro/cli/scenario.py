@@ -1,0 +1,311 @@
+"""Scenario command group: ``scenario list|run|sweep``.
+
+The multi-tenant scenario engine's CLI face: list the registered
+traffic mixes, run one (optionally on the cluster with failure
+timelines, limit schedules, and a control plane), or sweep a grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import int_list
+from repro.metrics.report import format_table
+
+__all__ = ["add_parsers", "add_scenario_scale_args", "print_control_report"]
+
+
+def add_scenario_scale_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--wss-pages", type=int, default=2_048,
+                   help="per-tenant working set (pages)")
+    p.add_argument("--accesses", type=int, default=24_000,
+                   help="scenario access budget (split across tenants)")
+    p.add_argument("--seed", type=int, default=42)
+
+
+def add_parsers(sub) -> None:
+    scenario = sub.add_parser(
+        "scenario", help="declare/run/sweep multi-tenant traffic scenarios"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_list = scenario_sub.add_parser("list", help="list the registered scenarios")
+    scenario_list.set_defaults(handler=_scenario_list)
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario and print per-tenant metrics"
+    )
+    scenario_run.add_argument("name", help="a scenario from `repro scenario list`")
+    scenario_run.add_argument("--cores", type=int, default=4)
+    scenario_run.add_argument(
+        "--servers",
+        type=int,
+        default=0,
+        help="memory servers (0 = flat remote fabric; failure timelines force a cluster)",
+    )
+    scenario_run.add_argument(
+        "--prefetcher", help="override the scenario's prefetcher choice"
+    )
+    scenario_run.add_argument(
+        "--json", action="store_true", help="emit the result payload as JSON"
+    )
+    add_scenario_scale_args(scenario_run)
+    scenario_run.set_defaults(handler=_scenario_run)
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep", help="run scenarios across a {cores x servers x prefetchers} grid"
+    )
+    scenario_sweep.add_argument(
+        "names",
+        nargs="*",
+        help="scenarios to sweep (default: all registered)",
+    )
+    scenario_sweep.add_argument(
+        "--cores", type=int_list, default=[2, 4], metavar="N,N"
+    )
+    scenario_sweep.add_argument(
+        "--servers", type=int_list, default=[2, 4], metavar="N,N"
+    )
+    scenario_sweep.add_argument(
+        "--prefetchers",
+        default="leap,readahead",
+        help="comma-separated prefetcher list",
+    )
+    scenario_sweep.add_argument(
+        "--out", metavar="FILE", help="write the sweep payload as JSON"
+    )
+    add_scenario_scale_args(scenario_sweep)
+    scenario_sweep.set_defaults(handler=_scenario_sweep)
+
+
+def _scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import list_scenarios
+
+    rows = []
+    for scenario in list_scenarios():
+        extras = []
+        if scenario.popularity_skew is not None:
+            extras.append(f"zipf {scenario.popularity_skew:g}")
+        if scenario.memory_schedule:
+            extras.append("limit schedule")
+        if scenario.failures:
+            extras.append("failures")
+        if scenario.control is not None:
+            parts = []
+            if scenario.control.governor is not None:
+                parts.append("governor")
+            if scenario.control.balancer is not None:
+                parts.append("balancer")
+            extras.append("+".join(parts))
+        rows.append(
+            (
+                scenario.name,
+                len(scenario.tenants),
+                ", ".join(extras) or "-",
+                scenario.description,
+            )
+        )
+    print(
+        format_table(
+            ["scenario", "tenants", "features", "description"],
+            rows,
+            title="Run with: repro scenario run <name>",
+        )
+    )
+    return 0
+
+
+def print_control_report(control: dict) -> None:
+    """Human-readable policy decisions and limit trajectories."""
+    decisions = control.get("decisions", ())
+    if decisions:
+        print()
+        print(
+            format_table(
+                ["at (ms)", "tenant", "swap", "reason", "score"],
+                [
+                    (
+                        f"{d['at_ms']:.1f}",
+                        d["tenant"],
+                        f"{d['from']} -> {d['to']}",
+                        d["reason"],
+                        f"{d['from_score']:.2f}"
+                        + (
+                            f" vs {d['to_score']:.2f}"
+                            if d["to_score"] is not None
+                            else ""
+                        ),
+                    )
+                    for d in decisions
+                ],
+                title="governor decisions",
+            )
+        )
+    elif "decisions" in control:
+        print("\ngovernor: no policy swaps (the starting policy held)")
+    if "policies" in control:
+        print(
+            "final policies: "
+            + ", ".join(f"{t}={p}" for t, p in sorted(control["policies"].items()))
+        )
+    rebalances = control.get("rebalances", ())
+    if rebalances:
+        print()
+        print(
+            format_table(
+                ["at (ms)", "donor", "receiver", "pages", "limits after"],
+                [
+                    (
+                        f"{m['at_ms']:.1f}",
+                        m["donor"],
+                        m["receiver"],
+                        m["pages"],
+                        f"{m['donor']}={m['donor_limit']} "
+                        f"{m['receiver']}={m['receiver_limit']}",
+                    )
+                    for m in rebalances
+                ],
+                title="memory rebalances",
+            )
+        )
+    elif "rebalances" in control:
+        print("balancer: no budget moved (pressures stayed within the gap)")
+    for tenant, points in sorted(control.get("limits", {}).items()):
+        path = " -> ".join(f"{limit}@{at:g}ms" for at, limit in points)
+        print(f"limit trajectory {tenant}: {path}")
+
+
+def _scenario_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import run_scenario
+
+    try:
+        payload = run_scenario(
+            args.name,
+            seed=args.seed,
+            cores=args.cores,
+            servers=args.servers,
+            prefetcher=args.prefetcher,
+            wss_pages=args.wss_pages,
+            total_accesses=args.accesses,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    config = payload["config"]
+    print(
+        format_table(
+            [
+                "tenant",
+                "workload",
+                "p50 (us)",
+                "p95 (us)",
+                "p99 (us)",
+                "hit rate",
+                "faults",
+                "completion (s)",
+            ],
+            [
+                (
+                    name,
+                    row["workload"],
+                    f"{row['p50_us']:.2f}",
+                    f"{row['p95_us']:.2f}",
+                    f"{row['p99_us']:.2f}",
+                    f"{row['hit_rate']:.1%}",
+                    row["faults"],
+                    f"{row['completion_s']:.3f}",
+                )
+                for name, row in payload["tenants"].items()
+            ],
+            title=f"scenario {payload['scenario']} — {config['cores']} cores, "
+            f"{config['servers']} servers, {config['prefetcher']} "
+            f"({config['engine']} engine)",
+        )
+    )
+    totals = payload["totals"]
+    print(
+        f"\nmakespan: {totals['makespan_s']:.3f}s  faults: {totals['faults']}  "
+        f"migrations: {totals['migrations']}"
+    )
+    unfired = totals.get("unfired_timeline_events", 0)
+    if unfired:
+        print(
+            f"warning: {unfired} scheduled event(s) (memory phases / "
+            f"failures) never fired — the run ended first (raise "
+            f"--accesses or use earlier event times)"
+        )
+    if "control" in payload:
+        print_control_report(payload["control"])
+    if "recovery" in payload:
+        recovery = payload["recovery"]
+        print(
+            f"recovery: {recovery['remapped_slabs']} slabs remapped, "
+            f"{recovery['refetched_pages']} pages re-fetched, "
+            f"{recovery['lost_pages']} lost"
+        )
+    return 0
+
+
+def _scenario_sweep(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.scenarios import scenario_names, sweep_scenarios
+
+    names = args.names or scenario_names()
+    prefetchers = [token for token in args.prefetchers.split(",") if token]
+    try:
+        payload = sweep_scenarios(
+            names,
+            cores=args.cores,
+            servers=args.servers,
+            prefetchers=prefetchers,
+            seed=args.seed,
+            wss_pages=args.wss_pages,
+            total_accesses=args.accesses,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = []
+    for run in payload["runs"]:
+        worst_p95 = max(row["p95_us"] for row in run["tenants"].values())
+        rows.append(
+            (
+                run["scenario"],
+                run["cores"],
+                run["servers"],
+                run["prefetcher"],
+                f"{worst_p95:.2f}",
+                f"{run['totals']['makespan_s']:.3f}",
+                run["totals"]["faults"],
+            )
+        )
+    print(
+        format_table(
+            [
+                "scenario",
+                "cores",
+                "servers",
+                "prefetcher",
+                "worst p95 (us)",
+                "makespan (s)",
+                "faults",
+            ],
+            rows,
+            title=f"{len(payload['runs'])} grid points "
+            f"({len(names)} scenarios, seed {args.seed})",
+        )
+    )
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {path}")
+    return 0

@@ -1,0 +1,51 @@
+"""Online control plane: closed-loop runtime policy adaptation.
+
+Leap's contribution is *online adaptation inside one prefetcher* —
+majority-trend detection and a hit-driven window that react to the
+access stream as it happens.  This package closes the same loop one
+level up, across policies and tenants, at a configurable epoch of
+simulated time:
+
+* :mod:`repro.control.telemetry` snapshots per-tenant sliding-window
+  signals (hit rate, major-fault pressure, p95 fault latency) and
+  global prefetch-quality signals (coverage, pollution) every epoch;
+* :mod:`repro.control.governor` scores the running prefetcher policy
+  per process on those windows and hot-swaps it (leap / readahead /
+  stride / next-n-line / ghb) behind the ordinary
+  :class:`~repro.prefetchers.base.Prefetcher` interface, with
+  hysteresis so one noisy window cannot thrash policies — the
+  cross-policy analogue of
+  :class:`~repro.core.prefetch_window.PrefetchWindow`'s smooth shrink;
+* :mod:`repro.control.balancer` reallocates local-memory limits across
+  tenants mid-run through ``Machine.set_memory_limit``, shrinking the
+  tenant whose marginal page buys the least and growing the one under
+  the highest major-fault pressure, subject to per-tenant floors and
+  ceilings;
+* :mod:`repro.control.plane` wires all three onto the scheduler's
+  epoch hook and reduces what happened to a JSON-shaped report (epoch
+  time series, policy decisions, limit trajectories).
+
+Everything is driven by simulated time and deterministic signals, so a
+governed run is exactly as reproducible as a static one.
+"""
+
+from repro.control.balancer import BalancerMove, TenantMemoryBalancer
+from repro.control.governor import GovernorDecision, PolicyGovernor, SwappablePrefetcher
+from repro.control.plane import ControlPlane
+from repro.control.spec import BalancerSpec, ControlSpec, GovernorSpec
+from repro.control.telemetry import EpochSample, TelemetrySampler, TenantSignals
+
+__all__ = [
+    "BalancerMove",
+    "BalancerSpec",
+    "ControlPlane",
+    "ControlSpec",
+    "EpochSample",
+    "GovernorDecision",
+    "GovernorSpec",
+    "PolicyGovernor",
+    "SwappablePrefetcher",
+    "TelemetrySampler",
+    "TenantMemoryBalancer",
+    "TenantSignals",
+]

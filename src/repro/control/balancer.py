@@ -1,0 +1,128 @@
+"""Tenant memory balancing: move local-memory budget to its best use.
+
+A static per-tenant memory split is wrong the moment tenants' phases
+diverge: one tenant's working set goes cold (its marginal page buys
+almost nothing) while another thrashes (every extra page would absorb
+a major fault).  Each epoch the balancer ranks tenants by
+**major-fault pressure** — window major faults per budgeted page, the
+marginal-benefit signal: high pressure means an extra page is likely
+to absorb a fault, near-zero pressure means the tenant would not miss
+a donated page — and transfers one step of budget from the
+lowest-pressure tenant to the highest-pressure one through
+``Machine.set_memory_limit`` (the same mid-run resize path scenario
+limit schedules use, so shrinking reclaims immediately).
+
+Guard rails come from the :class:`~repro.control.spec.BalancerSpec`:
+per-tenant floors and ceilings (fractions of each tenant's own working
+set), a step size relative to the donor's current limit, and a
+``pressure_gap`` hysteresis so two tenants with comparable pressure do
+not trade the same pages back and forth epoch after epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.spec import BalancerSpec
+from repro.control.telemetry import EpochSample
+
+__all__ = ["BalancerMove", "TenantMemoryBalancer"]
+
+
+@dataclass(frozen=True, slots=True)
+class BalancerMove:
+    """One epoch's budget transfer between two tenants."""
+
+    epoch: int
+    at_ns: int
+    donor_pid: int
+    receiver_pid: int
+    pages: int
+    donor_limit: int  # after the move
+    receiver_limit: int  # after the move
+    donor_pressure: float
+    receiver_pressure: float
+
+
+class TenantMemoryBalancer:
+    """Reallocate cgroup limits across tenants, one step per epoch."""
+
+    def __init__(
+        self,
+        machine,
+        spec: BalancerSpec,
+        wss_pages: dict[int, int],
+    ) -> None:
+        self.machine = machine
+        self.spec = spec
+        #: Hard bounds derived from each tenant's own footprint; a
+        #: tenant is never starved below its floor nor grown past the
+        #: point where extra budget cannot hold more of its pages.
+        self.floors = {
+            pid: max(2, int(wss * spec.floor_fraction))
+            for pid, wss in wss_pages.items()
+        }
+        self.ceilings = {
+            pid: max(self.floors[pid] + 1, int(wss * spec.ceiling_fraction))
+            for pid, wss in wss_pages.items()
+        }
+        self.moves: list[BalancerMove] = []
+
+    def pressure(self, sample: EpochSample, pid: int) -> float:
+        signals = sample.tenants[pid]
+        return signals.major_faults / max(1, signals.limit_pages)
+
+    def on_epoch(self, sample: EpochSample) -> list[BalancerMove]:
+        """Transfer one budget step if the pressure imbalance warrants."""
+        pids = [pid for pid in sorted(sample.tenants) if pid in self.floors]
+        if len(pids) < 2:
+            return []
+        pressures = {pid: self.pressure(sample, pid) for pid in pids}
+        # Only tenants that can actually move pages are candidates: a
+        # floored donor (or ceilinged receiver) must not mask the
+        # next-best candidate and stall rebalancing for the whole run.
+        receivers = [
+            pid
+            for pid in pids
+            if sample.tenants[pid].limit_pages < self.ceilings[pid]
+        ]
+        if not receivers:
+            return []
+        receiver = max(receivers, key=lambda pid: (pressures[pid], -pid))
+        donors = [
+            pid
+            for pid in pids
+            if pid != receiver and sample.tenants[pid].limit_pages > self.floors[pid]
+        ]
+        if not donors:
+            return []
+        donor = min(donors, key=lambda pid: (pressures[pid], pid))
+        if pressures[receiver] <= (pressures[donor] + 1e-12) * (
+            1.0 + self.spec.pressure_gap
+        ):
+            return []
+        donor_limit = sample.tenants[donor].limit_pages
+        receiver_limit = sample.tenants[receiver].limit_pages
+        step = max(1, int(donor_limit * self.spec.step_fraction))
+        step = min(
+            step,
+            donor_limit - self.floors[donor],
+            self.ceilings[receiver] - receiver_limit,
+        )
+        if step <= 0:
+            return []
+        self.machine.set_memory_limit(donor, donor_limit - step, sample.at_ns)
+        self.machine.set_memory_limit(receiver, receiver_limit + step, sample.at_ns)
+        move = BalancerMove(
+            epoch=sample.epoch,
+            at_ns=sample.at_ns,
+            donor_pid=donor,
+            receiver_pid=receiver,
+            pages=step,
+            donor_limit=donor_limit - step,
+            receiver_limit=receiver_limit + step,
+            donor_pressure=pressures[donor],
+            receiver_pressure=pressures[receiver],
+        )
+        self.moves.append(move)
+        return [move]

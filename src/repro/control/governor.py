@@ -1,0 +1,243 @@
+"""Adaptive prefetcher governance: score, probe, and hot-swap policies.
+
+No single prefetcher wins every regime (the paper's Table 1 is a grid
+of trade-offs): majority-trend detection shrugs off noise but has no
+temporal memory, delta-correlation (GHB) replays long irregular loops
+but breaks under noise, sequential readahead is free until the pattern
+is not sequential.  A workload phase shift therefore strands any
+statically chosen policy.  :class:`PolicyGovernor` closes that gap
+online: each epoch it scores the policy a process is *currently*
+running on by the window's prefetch hit rate, and when the smoothed
+score collapses it probes the unexplored candidates (in declared
+order) or switches to the best already-explored alternative.
+
+Hysteresis keeps one noisy window from thrashing policies — the
+cross-policy analogue of :class:`~repro.core.prefetch_window.\
+PrefetchWindow`'s smooth shrink: a policy runs for at least
+``min_dwell_epochs`` before any verdict, a challenger must beat the
+incumbent by ``score_margin``, and windows with fewer than
+``min_faults`` faults are too quiet to score at all.
+
+:class:`SwappablePrefetcher` is the mechanism under the policy: a
+router implementing the ordinary :class:`~repro.prefetchers.base.\
+Prefetcher` interface that keeps one instance per candidate policy and
+routes each process's ``candidates`` calls to its active policy.
+*Every* candidate observes every fault (``on_fault`` fans out), so a
+policy swapped in mid-run starts with a warm model rather than a cold
+one — the same reason Leap's shard migration merges history instead of
+restarting detection.  Swapping touches no cache state: pages already
+prefetched stay in the :class:`~repro.mem.page_cache.PageCache` and
+still serve hits, and each hit's feedback is routed to the policy that
+*issued* the page, not whichever policy is active when it lands.
+(The window hit rate the governor scores on still includes those
+inherited hits for the first post-swap epochs — an unavoidable
+property of window telemetry that ``min_dwell_epochs`` exists to
+average out.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.spec import GovernorSpec
+from repro.control.telemetry import EpochSample
+from repro.mem.page import PageKey
+from repro.prefetchers.base import Prefetcher
+
+__all__ = ["GovernorDecision", "PolicyGovernor", "SwappablePrefetcher"]
+
+
+class SwappablePrefetcher(Prefetcher):
+    """Route each process's prefetching to its active policy."""
+
+    name = "governed"
+
+    def __init__(self, machine, policies: tuple[str, ...], default: str) -> None:
+        if default not in policies:
+            raise ValueError(f"default policy {default!r} not in {policies}")
+        self.policies = tuple(policies)
+        self.default = default
+        #: One shared instance per candidate policy, sized from the
+        #: machine's config (Leap's tracker shards per pid internally;
+        #: the offset baselines are global by design).
+        self.instances: dict[str, Prefetcher] = {
+            policy: machine.build_prefetcher(policy) for policy in policies
+        }
+        self._active: dict[int, str] = {}
+        self._cores: dict[int, int] = {}
+        #: Which policy proposed each candidate, so a hit's feedback
+        #: reaches the policy that earned it even after a swap (a
+        #: window-growth loop fed with another policy's hits would give
+        #: every freshly probed policy an unearned head start).
+        self._issuer: dict[PageKey, str] = {}
+        self.swaps = 0
+
+    def policy_of(self, pid: int) -> str:
+        return self._active.get(pid, self.default)
+
+    def set_policy(self, pid: int, policy: str) -> bool:
+        """Hot-swap *pid* onto *policy*; returns True when it changed."""
+        if policy not in self.instances:
+            raise ValueError(f"unknown policy {policy!r} (have {self.policies})")
+        if self.policy_of(pid) == policy:
+            return False
+        self._active[pid] = policy
+        self.swaps += 1
+        return True
+
+    # -- Prefetcher interface ----------------------------------------------
+    def on_fault(self, key: PageKey, now: int, cache_hit: bool) -> None:
+        # Fan out: inactive policies keep observing so they are warm
+        # when the governor probes them.
+        for instance in self.instances.values():
+            instance.on_fault(key, now, cache_hit)
+
+    def candidates(self, key: PageKey, now: int) -> list[PageKey]:
+        policy = self.policy_of(key[0])
+        picks = self.instances[policy].candidates(key, now)
+        for pick in picks:
+            self._issuer[pick] = policy
+        return picks
+
+    def on_prefetch_hit(self, key: PageKey, now: int) -> None:
+        issuer = self._issuer.pop(key, None) or self.policy_of(key[0])
+        self.instances[issuer].on_prefetch_hit(key, now)
+
+    def on_process_placed(self, pid: int, core: int) -> None:
+        self._cores[pid] = core
+        for instance in self.instances.values():
+            instance.on_process_placed(pid, core)
+
+    def on_process_migrated(self, pid: int, old_core: int, new_core: int) -> None:
+        self._cores[pid] = new_core
+        for instance in self.instances.values():
+            instance.on_process_migrated(pid, old_core, new_core)
+
+    def reset(self) -> None:
+        self._issuer.clear()
+        for instance in self.instances.values():
+            instance.reset()
+
+
+@dataclass(frozen=True, slots=True)
+class GovernorDecision:
+    """One policy swap, with the evidence that triggered it."""
+
+    epoch: int
+    at_ns: int
+    pid: int
+    from_policy: str
+    to_policy: str
+    reason: str  # "probe" | "exploit"
+    from_score: float
+    to_score: float | None  # None when the target is unexplored
+
+
+class _PidState:
+    __slots__ = ("scores", "scored_at", "dwell")
+
+    def __init__(self) -> None:
+        #: Smoothed (EWMA) hit-rate score per policy; a policy appears
+        #: only once it has actually run for this pid.
+        self.scores: dict[str, float] = {}
+        #: Epoch each policy's score was last refreshed (staleness).
+        self.scored_at: dict[str, int] = {}
+        self.dwell = 0
+
+
+class PolicyGovernor:
+    """Per-process policy selection over epoch telemetry."""
+
+    def __init__(self, swappable: SwappablePrefetcher, spec: GovernorSpec) -> None:
+        self.swappable = swappable
+        self.spec = spec
+        self._states: dict[int, _PidState] = {}
+        self.decisions: list[GovernorDecision] = []
+
+    def scores(self, pid: int) -> dict[str, float]:
+        return dict(self._states[pid].scores) if pid in self._states else {}
+
+    def on_epoch(self, sample: EpochSample) -> list[GovernorDecision]:
+        """Score the active policies; swap where the evidence demands."""
+        spec = self.spec
+        made: list[GovernorDecision] = []
+        for pid in sorted(sample.tenants):
+            signals = sample.tenants[pid]
+            state = self._states.setdefault(pid, _PidState())
+            current = self.swappable.policy_of(pid)
+            state.dwell += 1
+            if signals.faults < spec.min_faults:
+                # Too quiet to judge anyone: dwell accrues, scores hold.
+                continue
+            score = signals.hit_rate
+            previous = state.scores.get(current)
+            state.scores[current] = (
+                score
+                if previous is None
+                else previous + spec.ewma_alpha * (score - previous)
+            )
+            state.scored_at[current] = sample.epoch
+            if state.dwell < spec.min_dwell_epochs:
+                continue
+            current_score = state.scores[current]
+            # A score that has not been refreshed for stale_epochs is
+            # evidence about a regime that may no longer exist: the
+            # policy is *forgotten* — dropped back into the unexplored
+            # pool, out of exploit consideration, and its EWMA deleted
+            # so a re-audition starts from fresh evidence instead of
+            # blending the new regime's scores into the old regime's.
+            for policy in list(state.scores):
+                if policy == current:
+                    continue
+                if sample.epoch - state.scored_at[policy] > spec.stale_epochs:
+                    del state.scores[policy]
+                    del state.scored_at[policy]
+            fresh = dict(state.scores)
+            unexplored = [
+                policy for policy in self.swappable.policies if policy not in fresh
+            ]
+            decision: GovernorDecision | None = None
+            if current_score < spec.probe_score and unexplored:
+                decision = GovernorDecision(
+                    epoch=sample.epoch,
+                    at_ns=sample.at_ns,
+                    pid=pid,
+                    from_policy=current,
+                    to_policy=unexplored[0],
+                    reason="probe",
+                    from_score=current_score,
+                    to_score=None,
+                )
+            else:
+                challengers = {
+                    policy: value
+                    for policy, value in fresh.items()
+                    if policy != current
+                }
+                if challengers:
+                    # Deterministic argmax: best score, then probe order.
+                    best = max(
+                        challengers,
+                        key=lambda policy: (
+                            challengers[policy],
+                            -self.swappable.policies.index(policy),
+                        ),
+                    )
+                    if challengers[best] > current_score + spec.score_margin:
+                        decision = GovernorDecision(
+                            epoch=sample.epoch,
+                            at_ns=sample.at_ns,
+                            pid=pid,
+                            from_policy=current,
+                            to_policy=best,
+                            reason="exploit",
+                            from_score=current_score,
+                            to_score=challengers[best],
+                        )
+            if decision is None:
+                continue
+            self.swappable.set_policy(pid, decision.to_policy)
+            state.dwell = 0
+            self.decisions.append(decision)
+            made.append(decision)
+        return made

@@ -1,0 +1,160 @@
+"""Wire sampler, governor, and balancer onto a machine's epoch hook.
+
+:class:`ControlPlane` is the object a run actually holds: built from a
+machine plus a :class:`~repro.control.spec.ControlSpec`, it installs
+the governed prefetcher router (when a governor is configured), exposes
+itself as the scheduler's ``on_epoch`` callback, and keeps the full
+decision record — an epoch-by-epoch telemetry time series, every policy
+swap, every rebalance, and the per-tenant limit trajectories — as a
+JSON-shaped report for run payloads and the ``repro control`` CLI.
+
+Epoch timestamps in the report are relative to the measured phase
+(``at_ms = epoch x epoch_ms``), so the same scenario reports the same
+trajectory at any warmup length, and a governed run's payload is
+byte-identical across repeated runs at a fixed seed.
+"""
+
+from __future__ import annotations
+
+from repro.control.balancer import TenantMemoryBalancer
+from repro.control.governor import PolicyGovernor, SwappablePrefetcher
+from repro.control.spec import ControlSpec
+from repro.control.telemetry import TelemetrySampler
+from repro.sim.units import ms
+
+__all__ = ["ControlPlane"]
+
+
+class ControlPlane:
+    """One scenario run's control loop and its decision record."""
+
+    def __init__(
+        self,
+        machine,
+        spec: ControlSpec,
+        names: dict[int, str],
+        wss_pages: dict[int, int],
+        default_policy: str = "leap",
+    ) -> None:
+        self.machine = machine
+        self.spec = spec
+        self.names = dict(names)
+        self.epoch_ns = ms(spec.epoch_ms)
+        self.sampler = TelemetrySampler(machine)
+        self.governor: PolicyGovernor | None = None
+        self.swappable: SwappablePrefetcher | None = None
+        self.balancer: TenantMemoryBalancer | None = None
+        if spec.governor is not None:
+            policies = spec.governor.policies
+            if default_policy not in policies:
+                # The scenario's static choice is always a candidate —
+                # the governor must be able to keep it.
+                policies = (default_policy, *policies)
+            self.swappable = SwappablePrefetcher(
+                machine, policies, default=default_policy
+            )
+            machine.install_prefetcher(self.swappable)
+            self.governor = PolicyGovernor(self.swappable, spec.governor)
+        if spec.balancer is not None:
+            self.balancer = TenantMemoryBalancer(machine, spec.balancer, wss_pages)
+        self.epoch_rows: list[dict] = []
+
+    # -- the epoch hook -----------------------------------------------------
+    def __call__(self, at_ns: int, scheduler) -> None:
+        """One control epoch: sample, then govern and rebalance."""
+        sample = self.sampler.sample(at_ns, scheduler.drivers)
+        if self.governor is not None:
+            self.governor.on_epoch(sample)
+        if self.balancer is not None:
+            self.balancer.on_epoch(sample)
+        at_ms = round(sample.epoch * self.spec.epoch_ms, 6)
+        tenants = {}
+        for pid in sorted(sample.tenants):
+            signals = sample.tenants[pid]
+            row = {
+                "core": signals.core,
+                "accesses": signals.accesses,
+                "hits": signals.hits,
+                "major_faults": signals.major_faults,
+                "hit_rate": round(signals.hit_rate, 4),
+                "p95_us": round(signals.p95_us, 3),
+                "limit_pages": signals.limit_pages,
+            }
+            if self.swappable is not None:
+                row["policy"] = self.swappable.policy_of(pid)
+            tenants[self._name(pid)] = row
+        self.epoch_rows.append(
+            {
+                "epoch": sample.epoch,
+                "at_ms": at_ms,
+                "tenants": tenants,
+                "hit_rate": round(sample.hit_rate, 4),
+                "coverage": round(sample.coverage, 4),
+                "pollution_ratio": round(sample.pollution_ratio, 4),
+                "prefetch_issued": sample.prefetch_issued,
+                "evicted_unused": sample.evicted_unused,
+            }
+        )
+
+    def _name(self, pid: int) -> str:
+        return self.names.get(pid, str(pid))
+
+    def _at_ms(self, epoch: int) -> float:
+        return round(epoch * self.spec.epoch_ms, 6)
+
+    # -- reporting ----------------------------------------------------------
+    def report(self) -> dict:
+        """The run's control record, JSON-shaped and deterministic."""
+        report: dict = {
+            "epoch_ms": self.spec.epoch_ms,
+            "epochs_fired": len(self.epoch_rows),
+            "epochs": self.epoch_rows,
+            "limits": self._limit_trajectories(),
+        }
+        if self.governor is not None:
+            report["decisions"] = [
+                {
+                    "epoch": decision.epoch,
+                    "at_ms": self._at_ms(decision.epoch),
+                    "tenant": self._name(decision.pid),
+                    "from": decision.from_policy,
+                    "to": decision.to_policy,
+                    "reason": decision.reason,
+                    "from_score": round(decision.from_score, 4),
+                    "to_score": (
+                        None
+                        if decision.to_score is None
+                        else round(decision.to_score, 4)
+                    ),
+                }
+                for decision in self.governor.decisions
+            ]
+            report["policies"] = {
+                self._name(pid): self.swappable.policy_of(pid)
+                for pid in sorted(self.names)
+            }
+            report["swaps"] = self.swappable.swaps
+        if self.balancer is not None:
+            report["rebalances"] = [
+                {
+                    "epoch": move.epoch,
+                    "at_ms": self._at_ms(move.epoch),
+                    "donor": self._name(move.donor_pid),
+                    "receiver": self._name(move.receiver_pid),
+                    "pages": move.pages,
+                    "donor_limit": move.donor_limit,
+                    "receiver_limit": move.receiver_limit,
+                }
+                for move in self.balancer.moves
+            ]
+        return report
+
+    def _limit_trajectories(self) -> dict[str, list[list]]:
+        """Per-tenant ``[at_ms, limit_pages]`` series (changes only)."""
+        series: dict[str, list[list]] = {}
+        for row in self.epoch_rows:
+            for tenant, signals in row["tenants"].items():
+                points = series.setdefault(tenant, [])
+                if not points or points[-1][1] != signals["limit_pages"]:
+                    points.append([row["at_ms"], signals["limit_pages"]])
+        return series

@@ -1,0 +1,156 @@
+"""Epoch telemetry: sliding-window signals for the control plane.
+
+The governor and balancer must react to *recent* behaviour, not
+run-to-date averages — a policy that was right for the first 20 ms of
+a run can be arbitrarily wrong for the next 20 ms, and cumulative
+ratios bury exactly that shift.  :class:`TelemetrySampler` therefore
+keeps the previous epoch's cumulative counters per process and emits
+per-epoch *deltas*:
+
+* per tenant (pid, current core): accesses, prefetch-served hits,
+  major faults, the window hit rate, the window's p95 fault latency,
+  and the tenant's current cgroup limit;
+* globally (the machine-wide :class:`~repro.metrics.counters.\
+  PrefetchMetrics`): prefetches issued/consumed, pages evicted unused,
+  and the derived window coverage and pollution ratio — the same
+  pollution definition ``PrefetchMetrics.as_dict`` reports.
+
+Samples are plain data; serialization to run payloads happens in
+:mod:`repro.control.plane`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.latency import percentile
+from repro.mem.vmm import PREFETCH_HIT_KINDS, AccessKind
+
+__all__ = ["EpochSample", "TelemetrySampler", "TenantSignals"]
+
+
+@dataclass(frozen=True, slots=True)
+class TenantSignals:
+    """One tenant's window over one epoch."""
+
+    pid: int
+    core: int
+    accesses: int
+    hits: int
+    major_faults: int
+    p95_us: float
+    limit_pages: int
+
+    @property
+    def faults(self) -> int:
+        """Backing-store faults in the window (hits + major faults)."""
+        return self.hits + self.major_faults
+
+    @property
+    def hit_rate(self) -> float:
+        """Prefetch-served share of the window's faults (0 when idle)."""
+        if self.faults == 0:
+            return 0.0
+        return self.hits / self.faults
+
+
+@dataclass(frozen=True, slots=True)
+class EpochSample:
+    """One control-plane epoch: all tenants plus the global signals."""
+
+    epoch: int
+    at_ns: int
+    tenants: dict[int, TenantSignals]
+    prefetch_issued: int
+    prefetch_hits: int
+    evicted_unused: int
+    faults: int
+
+    @property
+    def coverage(self) -> float:
+        if self.faults == 0:
+            return 0.0
+        return self.prefetch_hits / self.faults
+
+    @property
+    def pollution_ratio(self) -> float:
+        if self.prefetch_issued == 0:
+            return 0.0
+        return self.evicted_unused / self.prefetch_issued
+
+    @property
+    def hit_rate(self) -> float:
+        """Aggregate window hit rate across all tenants."""
+        hits = sum(signals.hits for signals in self.tenants.values())
+        faults = sum(signals.faults for signals in self.tenants.values())
+        if faults == 0:
+            return 0.0
+        return hits / faults
+
+
+class _DriverCursor:
+    """Per-driver cumulative counters as of the previous epoch."""
+
+    __slots__ = ("accesses", "hits", "major_faults", "latency_index")
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.major_faults = 0
+        self.latency_index = 0
+
+
+class TelemetrySampler:
+    """Snapshot per-epoch windows from the scheduler's driver state."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self._cursors: dict[int, _DriverCursor] = {}
+        self._metrics_prev = (0, 0, 0, 0)
+        self._epoch = 0
+
+    def sample(self, at_ns: int, drivers) -> EpochSample:
+        """Reduce everything since the last call to one :class:`EpochSample`."""
+        self._epoch += 1
+        tenants: dict[int, TenantSignals] = {}
+        for driver in drivers:
+            cursor = self._cursors.setdefault(driver.pid, _DriverCursor())
+            hits_total = sum(driver.kind_counts[kind] for kind in PREFETCH_HIT_KINDS)
+            major_total = driver.kind_counts[AccessKind.MAJOR_FAULT]
+            window_latencies = driver.fault_latencies[cursor.latency_index :]
+            process = self.machine.vmm.process(driver.pid)
+            tenants[driver.pid] = TenantSignals(
+                pid=driver.pid,
+                core=process.core,
+                accesses=driver.accesses - cursor.accesses,
+                hits=hits_total - cursor.hits,
+                major_faults=major_total - cursor.major_faults,
+                p95_us=(
+                    percentile(window_latencies, 95) / 1e3 if window_latencies else 0.0
+                ),
+                limit_pages=process.cgroup.limit_pages,
+            )
+            cursor.accesses = driver.accesses
+            cursor.hits = hits_total
+            cursor.major_faults = major_total
+            cursor.latency_index = len(driver.fault_latencies)
+        metrics = self.machine.metrics
+        current = (
+            metrics.prefetch_issued,
+            metrics.prefetch_hits,
+            metrics.evicted_unused,
+            metrics.faults,
+        )
+        issued, hits, unused, faults = (
+            now - prev for now, prev in zip(current, self._metrics_prev)
+        )
+        self._metrics_prev = current
+        return EpochSample(
+            epoch=self._epoch,
+            at_ns=at_ns,
+            tenants=tenants,
+            prefetch_issued=issued,
+            prefetch_hits=hits,
+            evicted_unused=unused,
+            faults=faults,
+        )

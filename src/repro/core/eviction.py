@@ -12,7 +12,17 @@ from __future__ import annotations
 
 from repro.mem.page_cache import EagerFifoPolicy, LazyLRUPolicy, PageCache
 
-__all__ = ["EagerFifoPolicy", "LazyLRUPolicy", "make_prefetch_fifo_lru_cache"]
+__all__ = [
+    "EagerFifoPolicy",
+    "LazyLRUPolicy",
+    "PageCache",
+    "PrefetchFifoLruList",
+    "make_prefetch_fifo_lru_cache",
+]
+
+#: The paper's §4.3 name for the eager policy's unconsumed-page FIFO;
+#: exported so code written against the paper's vocabulary resolves.
+PrefetchFifoLruList = EagerFifoPolicy
 
 
 def make_prefetch_fifo_lru_cache(capacity_pages: int | None = None) -> PageCache:

@@ -42,7 +42,14 @@ from repro.metrics.latency import LatencyRecorder
 from repro.prefetchers.base import Prefetcher
 from repro.sim.units import ns
 
-__all__ = ["AccessKind", "AccessOutcome", "ProcessMemory", "VirtualMemoryManager"]
+__all__ = [
+    "AccessKind",
+    "AccessOutcome",
+    "FAULT_KINDS",
+    "PREFETCH_HIT_KINDS",
+    "ProcessMemory",
+    "VirtualMemoryManager",
+]
 
 #: Page-table update when a cached page is mapped in.
 MAP_COST_NS = ns(100)
@@ -69,6 +76,11 @@ FAULT_KINDS = (
     AccessKind.CACHE_HIT_INFLIGHT,
     AccessKind.MAJOR_FAULT,
 )
+
+#: Kinds served by a prefetched cache entry — the numerator of every
+#: "hit rate" in scenario payloads and control-plane telemetry (one
+#: definition, so the governor optimizes exactly what the A/B judges).
+PREFETCH_HIT_KINDS = (AccessKind.CACHE_HIT, AccessKind.CACHE_HIT_INFLIGHT)
 
 
 @dataclass(frozen=True, slots=True)

@@ -42,6 +42,10 @@ class PrefetchMetrics:
     #: (e.g. during warmup); excluded from accuracy/coverage so both
     #: stay well-defined ratios over the measured window.
     carryover_hits: int = 0
+    #: Prefetched pages that left the cache without ever serving a hit
+    #: — the pollution the eager eviction policy exists to bound, and
+    #: the signal the control plane's governor scores policies on.
+    evicted_unused: int = 0
     timeliness_ns: list[int] = field(default_factory=list)
     _outstanding: dict[PageKey, _IssueRecord] = field(default_factory=dict)
 
@@ -75,8 +79,15 @@ class PrefetchMetrics:
             self.timeliness_ns.append(now - record.issued_at)
 
     def record_evicted_unused(self, key: PageKey) -> None:
-        """A prefetched page left the cache without ever being hit."""
-        self._outstanding.pop(key, None)
+        """A prefetched page left the cache without ever being hit.
+
+        Pages issued before this metrics window opened (warmup
+        carryover) are excluded, mirroring :meth:`record_hit`'s
+        carryover handling, so ``pollution_ratio`` stays a
+        well-defined ratio over the measured window.
+        """
+        if self._outstanding.pop(key, None) is not None:
+            self.evicted_unused += 1
 
     # -- derived metrics -----------------------------------------------------
     @property
@@ -99,6 +110,17 @@ class PrefetchMetrics:
             return 0.0
         return self.misses / self.faults
 
+    @property
+    def pollution_ratio(self) -> float:
+        """Evicted-unused over issued: the wasted share of prefetching.
+
+        The single definition shared by reports and the control plane's
+        governor (0 when nothing was issued).
+        """
+        if self.prefetch_issued == 0:
+            return 0.0
+        return self.evicted_unused / self.prefetch_issued
+
     def timeliness_summary(self) -> dict[str, float]:
         return summarize(self.timeliness_ns)
 
@@ -111,7 +133,9 @@ class PrefetchMetrics:
             "prefetch_hits": self.prefetch_hits,
             "inflight_hits": self.inflight_hits,
             "carryover_hits": self.carryover_hits,
+            "evicted_unused": self.evicted_unused,
             "accuracy": self.accuracy,
             "coverage": self.coverage,
             "miss_ratio": self.miss_ratio,
+            "pollution_ratio": self.pollution_ratio,
         }

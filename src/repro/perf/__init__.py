@@ -27,8 +27,10 @@ from repro.perf.artifacts import (
     write_artifact,
 )
 from repro.perf.profile import (
+    CONTROL_PROFILE_SCENARIO,
     SCENARIO_PROFILE_NAMES,
     cluster_profile,
+    control_profile,
     fig13_profile,
     percentiles_us,
     profile_cluster,
@@ -38,11 +40,13 @@ from repro.perf.profile import (
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "CONTROL_PROFILE_SCENARIO",
     "GateViolation",
     "SCENARIO_PROFILE_NAMES",
     "artifact_path",
     "cluster_profile",
     "compare_artifacts",
+    "control_profile",
     "fig13_profile",
     "load_artifact",
     "percentiles_us",

@@ -2,8 +2,9 @@
 
 Runs a scaled-down profile through the concurrent engine — the Figure
 13 mix (``--profile fig13``, the default), the multi-server memory
-cluster (``--profile cluster``), or the multi-tenant scenario set
-(``--profile scenarios``) — writes ``BENCH_<profile>.json``, and
+cluster (``--profile cluster``), the multi-tenant scenario set
+(``--profile scenarios``), or the governed-vs-static control-plane A/B
+(``--profile control``) — writes ``BENCH_<profile>.json``, and
 — when ``--baseline`` is given — fails (exit 1) if any gated metric
 regressed past the budget.  See PERF_BUDGETS.md for the budgets and
 the waiver policy.
@@ -20,9 +21,14 @@ from repro.perf.artifacts import (
     load_artifact,
     write_artifact,
 )
-from repro.perf.profile import cluster_profile, fig13_profile, scenarios_profile
+from repro.perf.profile import (
+    cluster_profile,
+    control_profile,
+    fig13_profile,
+    scenarios_profile,
+)
 
-PROFILES = ("fig13", "cluster", "scenarios")
+PROFILES = ("fig13", "cluster", "scenarios", "control")
 
 
 def add_perf_arguments(parser: argparse.ArgumentParser) -> None:
@@ -68,6 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_profile(args: argparse.Namespace) -> dict:
+    if args.profile == "control":
+        # One scenario, but 1 governed + N static arms: quarter the
+        # shared scale so the A/B stays smoke-sized.
+        artifact, _ = control_profile(
+            wss_pages=args.wss_pages // 4,
+            accesses=(3 * args.accesses) // 4,
+            seed=args.seed,
+            cores=args.cores,
+        )
+        return artifact
     if args.profile == "scenarios":
         # The scenario set runs 3 multi-tenant mixes; halve the
         # per-run scale relative to the single-mix profiles so the
@@ -113,6 +129,15 @@ def run(args: argparse.Namespace) -> int:
             f"  server:{server_id:<5} p50 {row['p50_us']:8.2f} us   "
             f"p95 {row['p95_us']:8.2f} us   p99 {row['p99_us']:8.2f} us   "
             f"reads {row['reads']:>6}   util {row['utilization']:.2%}"
+        )
+    control = artifact.get("control")
+    if control:
+        verdict = "BEATS" if control["governed_beats_static"] else "DOES NOT BEAT"
+        print(
+            f"  governed hit rate {control['governed_hit_rate']:.1%} {verdict} "
+            f"best static {control['best_static']} "
+            f"({control['best_static_hit_rate']:.1%}); "
+            f"{len(control['decisions'])} policy swap(s)"
         )
     if args.baseline is None:
         return 0

@@ -28,7 +28,9 @@ __all__ = [
     "fig13_profile",
     "cluster_profile",
     "scenarios_profile",
+    "control_profile",
     "SCENARIO_PROFILE_NAMES",
+    "CONTROL_PROFILE_SCENARIO",
 ]
 
 #: Scenarios the CI perf gate runs: a skewed web tier (steady-state
@@ -36,6 +38,9 @@ __all__ = [
 #: failure drill (fault-path latency under recovery) — one per regime
 #: the scenario engine must keep fast.
 SCENARIO_PROFILE_NAMES = ("web-tier-zipf", "noisy-neighbor", "failover-under-load")
+
+#: The governed scenario the control-plane gate A/Bs against statics.
+CONTROL_PROFILE_SCENARIO = "phase-shift-governed"
 
 
 def percentiles_us(samples: list[int]) -> dict[str, float]:
@@ -281,7 +286,7 @@ def scenarios_profile(
         for server_id, row in payload.get("servers", {}).items():
             server_rows[f"{name}/{server_id}"] = dict(row)
     wall_clock_s = time.perf_counter() - started
-    artifact = {
+    artifact: dict = {
         "schema": ARTIFACT_SCHEMA_VERSION,
         "bench": "scenarios",
         "engine": "scenario",
@@ -302,3 +307,61 @@ def scenarios_profile(
         "wall_clock_s": round(wall_clock_s, 3),
     }
     return artifact, payloads
+
+
+def control_profile(
+    wss_pages: int = 512,
+    accesses: int = 6000,
+    seed: int = 42,
+    cores: int = 4,
+    scenario: str = CONTROL_PROFILE_SCENARIO,
+) -> tuple[dict, dict]:
+    """Run the governed-vs-static A/B for the control-plane gate.
+
+    Returns ``(artifact, ab_payload)``.  Per-tenant rows land in
+    ``apps`` keyed ``<arm>/<tenant>`` (gated on ``p95_us`` /
+    ``completion_s`` like any app row, so both the governed run and
+    every static arm are regression-gated), and the ``control`` section
+    records the aggregate hit rate per arm, the governor's decisions,
+    and whether the governed run beat the best static arm — the
+    artifact-level statement of the control plane's reason to exist.
+    """
+    from repro.scenarios import run_control_ab
+
+    started = time.perf_counter()
+    ab = run_control_ab(
+        scenario,
+        seed=seed,
+        cores=cores,
+        wss_pages=wss_pages,
+        total_accesses=accesses,
+    )
+    wall_clock_s = time.perf_counter() - started
+    apps: dict[str, dict] = {}
+    for arm, payload in ab["arms"].items():
+        for tenant, row in payload["tenants"].items():
+            apps[f"{arm}/{tenant}"] = dict(row)
+    governed_control = ab["arms"]["governed"].get("control", {})
+    artifact: dict = {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "bench": "control",
+        "engine": "control",
+        "config": {
+            "seed": seed,
+            "cores": cores,
+            "wss_pages": wss_pages,
+            "accesses": accesses,
+            "scenario": ab["scenario"],
+            "statics": ab["config"]["statics"],
+            "system": "d-vmm+leap+governor",
+        },
+        "apps": apps,
+        "control": {
+            **ab["summary"],
+            "decisions": governed_control.get("decisions", []),
+            "policies": governed_control.get("policies", {}),
+            "epochs_fired": governed_control.get("epochs_fired", 0),
+        },
+        "wall_clock_s": round(wall_clock_s, 3),
+    }
+    return artifact, ab

@@ -16,11 +16,19 @@ from repro.scenarios.registry import (
     register,
     scenario_names,
 )
-from repro.scenarios.runner import run_scenario, sweep_scenarios
+from repro.scenarios.runner import (
+    aggregate_hit_rate,
+    run_control_ab,
+    run_scenario,
+    sweep_scenarios,
+)
 from repro.scenarios.spec import (
     WORKLOAD_KINDS,
     ArrivalSpec,
+    BalancerSpec,
+    ControlSpec,
     FailureSpec,
+    GovernorSpec,
     MemoryPhase,
     OpenLoopWorkload,
     Scenario,
@@ -31,15 +39,20 @@ from repro.scenarios.spec import (
 __all__ = [
     "WORKLOAD_KINDS",
     "ArrivalSpec",
+    "BalancerSpec",
+    "ControlSpec",
     "FailureSpec",
+    "GovernorSpec",
     "MemoryPhase",
     "OpenLoopWorkload",
     "Scenario",
     "TenantSpec",
+    "aggregate_hit_rate",
     "build_tenant_workloads",
     "get_scenario",
     "list_scenarios",
     "register",
+    "run_control_ab",
     "run_scenario",
     "scenario_names",
     "sweep_scenarios",

@@ -12,7 +12,10 @@ from typing import Callable
 
 from repro.scenarios.spec import (
     ArrivalSpec,
+    BalancerSpec,
+    ControlSpec,
     FailureSpec,
+    GovernorSpec,
     MemoryPhase,
     Scenario,
     TenantSpec,
@@ -226,6 +229,123 @@ def _stride_adversary(wss_pages: int, total_accesses: int) -> Scenario:
             TenantSpec(name="scan", workload="sequential", wss_pages=wss_pages),
         ),
         total_accesses=total_accesses,
+    )
+
+
+def _phase_shift_phases(wss_pages: int) -> list[dict]:
+    """The phase-shifting trace the governor exists for: a noisy scan
+    (majority-trend territory) that turns into a permutation loop over
+    half the working set (temporal-correlation territory) halfway
+    through.  The loop spans more pages than the scenario's 40% memory
+    fraction holds, so it thrashes an LRU — and repeats, so GHB can
+    learn it."""
+    return [
+        {"kind": "noisy-sequential", "noise": 0.3},
+        {"kind": "permloop", "loop_pages": max(2, wss_pages // 2)},
+    ]
+
+
+#: Governor tuning shared by the governed built-ins: probe GHB before
+#: readahead (the temporal-correlation arm is the interesting
+#: challenger), judge on 2-epoch dwells, and expire scores after 8
+#: epochs so a regime change gets policies re-auditioned.
+_GOVERNOR = dict(
+    policies=("leap", "ghb", "readahead"),
+    min_dwell_epochs=2,
+    ewma_alpha=0.5,
+    stale_epochs=8,
+)
+
+
+@register("phase-shift-governed")
+def _phase_shift_governed(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="phase-shift-governed",
+        description="Phase shift (noisy scan -> permutation loop) under the prefetcher governor",
+        # One tenant on purpose: the trace's two regimes have different
+        # best policies (majority trend vs temporal correlation), and a
+        # colocated tenant would poison the GHB arm's global history
+        # (its §2.3 interleaving weakness) rather than test the governor.
+        tenants=(
+            TenantSpec(
+                name="phased",
+                workload="phased",
+                wss_pages=wss_pages,
+                params={"phases": _phase_shift_phases(wss_pages)},
+            ),
+        ),
+        total_accesses=total_accesses,
+        memory_fraction=0.4,
+        control=ControlSpec(epoch_ms=1.0, governor=GovernorSpec(**_GOVERNOR)),
+    )
+
+
+@register("noisy-neighbor-balanced")
+def _noisy_neighbor_balanced(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="noisy-neighbor-balanced",
+        description="The noisy-neighbor mix with the tenant memory balancer rebalancing budget",
+        tenants=(
+            TenantSpec(
+                name="hog",
+                workload="random",
+                wss_pages=wss_pages * 2,
+                weight=2.0,
+                arrival=_STORM,
+            ),
+            TenantSpec(name="oltp", workload="voltdb", wss_pages=wss_pages, arrival=_WEB),
+            TenantSpec(
+                name="web",
+                workload="zipfian",
+                wss_pages=wss_pages,
+                params={"skew": 0.99},
+                arrival=_WEB,
+            ),
+        ),
+        total_accesses=total_accesses,
+        control=ControlSpec(
+            epoch_ms=1.0,
+            balancer=BalancerSpec(
+                step_fraction=0.08,
+                floor_fraction=0.25,
+                ceiling_fraction=0.8,
+                pressure_gap=0.5,
+            ),
+        ),
+    )
+
+
+@register("adaptive-colocation")
+def _adaptive_colocation(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="adaptive-colocation",
+        description="Phase-shifting tenant, random hog, and web tier under governor + balancer",
+        tenants=(
+            TenantSpec(
+                name="phased",
+                workload="phased",
+                wss_pages=wss_pages,
+                weight=2.0,
+                params={"phases": _phase_shift_phases(wss_pages)},
+            ),
+            TenantSpec(name="hog", workload="random", wss_pages=wss_pages),
+            TenantSpec(
+                name="web",
+                workload="zipfian",
+                wss_pages=wss_pages,
+                params={"skew": 0.99},
+                arrival=_WEB,
+            ),
+        ),
+        total_accesses=total_accesses,
+        memory_fraction=0.45,
+        control=ControlSpec(
+            epoch_ms=1.0,
+            governor=GovernorSpec(**_GOVERNOR),
+            balancer=BalancerSpec(
+                floor_fraction=0.25, ceiling_fraction=0.85, pressure_gap=0.8
+            ),
+        ),
     )
 
 

@@ -16,19 +16,19 @@ byte-identical across repeated runs.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable, Sequence
 
 from repro.cluster import FailureEvent
-from repro.mem.vmm import AccessKind
+from repro.control import ControlPlane
+from repro.mem.vmm import PREFETCH_HIT_KINDS, AccessKind
 from repro.perf.profile import percentiles_us
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import Scenario, build_tenant_workloads
 from repro.sim.machine import PREFETCHERS, Machine, cluster_config, leap_config
 from repro.sim.units import ms
 
-__all__ = ["run_scenario", "sweep_scenarios"]
-
-_HIT_KINDS = (AccessKind.CACHE_HIT, AccessKind.CACHE_HIT_INFLIGHT)
+__all__ = ["aggregate_hit_rate", "run_control_ab", "run_scenario", "sweep_scenarios"]
 
 
 def _resolve_scenario(
@@ -103,7 +103,7 @@ def _tenant_rows(result, names, workloads) -> dict[str, dict]:
     rows: dict[str, dict] = {}
     for pid, name in names.items():
         summary = result.processes[pid]
-        hits = sum(summary.kind_counts.get(kind, 0) for kind in _HIT_KINDS)
+        hits = sum(summary.kind_counts.get(kind, 0) for kind in PREFETCH_HIT_KINDS)
         faults = hits + summary.kind_counts.get(AccessKind.MAJOR_FAULT, 0)
         row = {
             key: round(value, 3)
@@ -114,6 +114,7 @@ def _tenant_rows(result, names, workloads) -> dict[str, dict]:
             completion_s=round(summary.completion_seconds, 6),
             accesses=summary.accesses,
             faults=faults,
+            hits=hits,
             hit_rate=round(hits / faults, 4) if faults else 0.0,
             core_wait_ms=round(summary.core_wait_ns / 1e6, 3),
             migrations=summary.migrations,
@@ -154,12 +155,25 @@ def run_scenario(
     machine = _build_machine(scenario, seed, cores, servers, chosen_prefetcher)
     workloads, names = build_tenant_workloads(scenario, seed)
     timeline = _limit_timeline(scenario, machine, workloads)
+    control_plane = None
+    if scenario.control is not None:
+        # Installs the governed prefetcher router (when a governor is
+        # configured) before any process registers against the machine.
+        control_plane = ControlPlane(
+            machine,
+            scenario.control,
+            names,
+            wss_pages={pid: w.wss_pages for pid, w in workloads.items()},
+            default_policy=chosen_prefetcher,
+        )
     common = dict(
         cores=cores,
         memory_fraction=scenario.memory_fraction,
         allow_migration=scenario.allow_migration,
         max_total_accesses=max_total_accesses,
         timeline=timeline,
+        epoch_ns=None if control_plane is None else control_plane.epoch_ns,
+        on_epoch=control_plane,
     )
     if machine.cluster is not None:
         failure_plan = [
@@ -177,6 +191,7 @@ def run_scenario(
             "prefetcher": chosen_prefetcher,
             "memory_fraction": scenario.memory_fraction,
             "engine": "cluster" if machine.cluster is not None else "concurrent",
+            "governed": control_plane is not None,
         },
         "tenants": _tenant_rows(result, names, workloads),
         "totals": {
@@ -190,6 +205,8 @@ def run_scenario(
             "unfired_timeline_events": result.unfired_timeline_events,
         },
     }
+    if control_plane is not None:
+        payload["control"] = control_plane.report()
     if machine.cluster is not None:
         servers_section: dict[str, dict] = {}
         for server_id, server in sorted(machine.host_agent.remote_agents.items()):
@@ -202,6 +219,80 @@ def run_scenario(
         payload["servers"] = servers_section
         payload["recovery"] = machine.host_agent.recovery_stats()
     return payload
+
+
+def aggregate_hit_rate(payload: dict) -> float:
+    """Run-wide prefetch hit rate: all tenants' hits over all faults."""
+    hits = sum(row["hits"] for row in payload["tenants"].values())
+    faults = sum(row["faults"] for row in payload["tenants"].values())
+    if faults == 0:
+        return 0.0
+    return hits / faults
+
+
+def run_control_ab(
+    scenario: Scenario | str,
+    *,
+    statics: Sequence[str] | None = None,
+    seed: int = 42,
+    cores: int = 4,
+    servers: int = 0,
+    wss_pages: int | None = None,
+    total_accesses: int | None = None,
+) -> dict:
+    """Governed vs static A/B: one governed run against static arms.
+
+    Runs *scenario* (which must carry a :class:`~repro.control.spec.\
+    ControlSpec`) once with its control plane on, then once per static
+    prefetcher in *statics* (default: the governor's candidate set)
+    with the control plane stripped.  The returned payload nests each
+    arm's full run payload plus a ``summary`` comparing aggregate hit
+    rates — the honest scoreboard for "does closing the loop beat the
+    best static choice".
+    """
+    scenario = _resolve_scenario(scenario, wss_pages, total_accesses)
+    if scenario.control is None:
+        raise ValueError(
+            f"scenario {scenario.name!r} declares no control plane; "
+            f"an A/B against statics needs one (add a ControlSpec)"
+        )
+    if statics is None:
+        if scenario.control.governor is not None:
+            statics = scenario.control.governor.policies
+        else:
+            statics = (scenario.prefetcher or "leap",)
+    statics = tuple(statics)
+    if not statics:
+        raise ValueError(
+            "the A/B needs at least one static arm (got an empty statics list)"
+        )
+    common = dict(seed=seed, cores=cores, servers=servers)
+    governed = run_scenario(scenario, **common)
+    arms: dict[str, dict] = {"governed": governed}
+    for prefetcher in statics:
+        arms[f"static-{prefetcher}"] = run_scenario(
+            replace(scenario, control=None, prefetcher=prefetcher), **common
+        )
+    rates = {name: round(aggregate_hit_rate(payload), 4) for name, payload in arms.items()}
+    static_rates = {name: rate for name, rate in rates.items() if name != "governed"}
+    best_static = max(static_rates, key=lambda name: (static_rates[name], name))
+    return {
+        "scenario": scenario.name,
+        "config": {
+            "seed": seed,
+            "cores": cores,
+            "servers": servers,
+            "statics": list(statics),
+        },
+        "arms": arms,
+        "summary": {
+            "hit_rates": rates,
+            "best_static": best_static,
+            "best_static_hit_rate": static_rates[best_static],
+            "governed_hit_rate": rates["governed"],
+            "governed_beats_static": rates["governed"] > static_rates[best_static],
+        },
+    }
 
 
 def sweep_scenarios(
@@ -221,8 +312,17 @@ def sweep_scenarios(
     positive); the returned payload nests one result row per
     (scenario, cores, servers, prefetcher) combination and is
     byte-identical across repeated runs at a fixed seed.
+
+    The prefetcher axis is a *static* comparison, so any control plane
+    a scenario declares is stripped for the grid — a governor would
+    silently swap away from the labeled prefetcher and turn the axis
+    into N near-identical governed runs.  Use :func:`run_control_ab`
+    for governed-vs-static comparisons.
     """
-    resolved = [_resolve_scenario(s, wss_pages, total_accesses) for s in scenarios]
+    resolved = [
+        replace(s, control=None) if s.control is not None else s
+        for s in (_resolve_scenario(s, wss_pages, total_accesses) for s in scenarios)
+    ]
     if not resolved:
         raise ValueError("need at least one scenario to sweep")
     if any(n < 1 for n in servers):

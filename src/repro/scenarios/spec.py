@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
+from repro.control.spec import BalancerSpec, ControlSpec, GovernorSpec
 from repro.sim.process import PageAccess
 from repro.sim.rng import SimRandom, derive_seed
 from repro.workloads.base import Workload
@@ -29,6 +30,7 @@ from repro.workloads.patterns import (
     StrideWorkload,
     ZipfianWorkload,
 )
+from repro.workloads.phased import PhasedWorkload
 from repro.workloads.powergraph import PowerGraphWorkload
 from repro.workloads.trace_io import load_trace
 from repro.workloads.voltdb import VoltDBWorkload
@@ -36,7 +38,10 @@ from repro.workloads.voltdb import VoltDBWorkload
 __all__ = [
     "WORKLOAD_KINDS",
     "ArrivalSpec",
+    "BalancerSpec",
+    "ControlSpec",
     "FailureSpec",
+    "GovernorSpec",
     "MemoryPhase",
     "OpenLoopWorkload",
     "Scenario",
@@ -55,6 +60,7 @@ WORKLOAD_KINDS = {
     "numpy": NumpyMatmulWorkload,
     "voltdb": VoltDBWorkload,
     "memcached": MemcachedWorkload,
+    "phased": PhasedWorkload,
 }
 
 
@@ -261,6 +267,9 @@ class Scenario:
     prefetcher: str | None = None
     failures: tuple[FailureSpec, ...] = ()
     allow_migration: bool = True
+    #: Optional online control plane (adaptive prefetcher governor
+    #: and/or tenant memory balancer); None = static policies.
+    control: ControlSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -332,6 +341,8 @@ class Scenario:
             data["prefetcher"] = self.prefetcher
         if self.failures:
             data["failures"] = [f.to_dict() for f in self.failures]
+        if self.control is not None:
+            data["control"] = self.control.to_dict()
         return data
 
     @classmethod
@@ -355,6 +366,11 @@ class Scenario:
                 FailureSpec.from_dict(f) for f in data.get("failures", ())
             ),
             allow_migration=bool(data.get("allow_migration", True)),
+            control=(
+                None
+                if data.get("control") is None
+                else ControlSpec.from_dict(data["control"])
+            ),
         )
 
 

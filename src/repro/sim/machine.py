@@ -34,6 +34,7 @@ from repro.mem.vmm import ProcessMemory, VirtualMemoryManager
 from repro.metrics.counters import PrefetchMetrics
 from repro.metrics.latency import LatencyRecorder
 from repro.prefetchers.base import NoopPrefetcher, Prefetcher
+from repro.prefetchers.ghb import GHBPrefetcher
 from repro.prefetchers.next_n_line import NextNLinePrefetcher
 from repro.prefetchers.readahead import ReadAheadPrefetcher
 from repro.prefetchers.stride import StridePrefetcher
@@ -54,7 +55,7 @@ __all__ = [
 
 DATA_PATHS = ("legacy", "lean")
 MEDIA = ("remote", "cluster", "hdd", "ssd")
-PREFETCHERS = ("readahead", "stride", "next-n-line", "leap", "none")
+PREFETCHERS = ("readahead", "stride", "next-n-line", "ghb", "leap", "none")
 EVICTIONS = ("lazy", "eager")
 
 
@@ -89,6 +90,10 @@ class MachineConfig:
     readahead_window: int = 8
     next_n_lines: int = 8
     stride_max_degree: int = 8
+    #: GHB (delta-correlation) sizing: the buffer must span a pattern's
+    #: repeat distance for temporal correlation to fire.
+    ghb_buffer_size: int = 4096
+    ghb_degree: int = 4
     kswapd_period_ns: int = ms(50)
     kswapd_batch: int = 64
 
@@ -243,7 +248,27 @@ class Machine:
             return StridePrefetcher(max_degree=config.stride_max_degree)
         if config.prefetcher == "next-n-line":
             return NextNLinePrefetcher(n_lines=config.next_n_lines)
+        if config.prefetcher == "ghb":
+            return GHBPrefetcher(
+                buffer_size=config.ghb_buffer_size, degree=config.ghb_degree
+            )
         raise ValueError(f"unknown prefetcher {config.prefetcher!r}")
+
+    def build_prefetcher(self, name: str) -> Prefetcher:
+        """A fresh prefetcher of *name*, sized by this machine's config.
+
+        The factory behind the control plane's policy swaps: the
+        governor asks for candidates by name and installs them behind
+        the same :class:`~repro.prefetchers.base.Prefetcher` interface.
+        """
+        return self._build_prefetcher(self.config.with_overrides(prefetcher=name))
+
+    def install_prefetcher(self, prefetcher: Prefetcher) -> None:
+        """Replace the machine's prefetcher (e.g. with a governed
+        router) before processes run; the page cache, metrics, and
+        data path are untouched."""
+        self.prefetcher = prefetcher
+        self.vmm.prefetcher = prefetcher
 
     # -- process management -------------------------------------------------
     def add_process(
@@ -300,6 +325,8 @@ class Machine:
         max_total_accesses: int | None = None,
         allow_migration: bool = True,
         timeline=None,
+        epoch_ns=None,
+        on_epoch=None,
     ):
         """Run *workloads* (pid → workload) concurrently across *cores*.
 
@@ -321,6 +348,8 @@ class Machine:
             max_total_accesses=max_total_accesses,
             allow_migration=allow_migration,
             timeline=timeline,
+            epoch_ns=epoch_ns,
+            on_epoch=on_epoch,
         )
 
     # -- cluster management ----------------------------------------------------
@@ -359,6 +388,8 @@ class Machine:
         allow_migration: bool = True,
         failure_plan=(),
         timeline=None,
+        epoch_ns=None,
+        on_epoch=None,
     ):
         """Run *workloads* across N app cores and M memory servers.
 
@@ -382,6 +413,8 @@ class Machine:
             allow_migration=allow_migration,
             failure_plan=failure_plan,
             timeline=timeline,
+            epoch_ns=epoch_ns,
+            on_epoch=on_epoch,
         )
 
     # -- measurement management ------------------------------------------------

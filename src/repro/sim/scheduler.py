@@ -107,11 +107,24 @@ class ConcurrentScheduler:
         migration_interval_ns: int = DEFAULT_MIGRATION_INTERVAL_NS,
         allow_migration: bool = True,
         timeline: Sequence[TimelineEvent] | None = None,
+        epoch_ns: int | None = None,
+        on_epoch: Callable[[int, "ConcurrentScheduler"], object] | None = None,
     ) -> None:
         self.machine = machine
         self.drivers = list(drivers)
         self._timeline = sorted(timeline or (), key=lambda event: event[0])
         self._timeline_index = 0
+        if epoch_ns is not None and epoch_ns <= 0:
+            raise ValueError(f"epoch_ns must be positive, got {epoch_ns}")
+        self.epoch_ns = epoch_ns
+        self.on_epoch = on_epoch
+        #: First epoch boundary: one epoch after the earliest driver
+        #: clock, so epochs are relative to the measured phase no
+        #: matter how far warmup advanced simulated time.
+        self._next_epoch: int | None = None
+        if epoch_ns is not None and on_epoch is not None and self.drivers:
+            self._next_epoch = min(d.clock.now for d in self.drivers) + epoch_ns
+        self.epochs_fired = 0
         n_cores = cores if cores is not None else machine.config.n_cores
         if n_cores < 1:
             raise ValueError(f"need at least one core, got {n_cores}")
@@ -195,6 +208,20 @@ class ConcurrentScheduler:
             self._timeline_index += 1
             callback(at)
 
+    def _fire_due_epochs(self, now: int) -> None:
+        """Run the control-plane epoch hook at every elapsed boundary.
+
+        Fired from the event loop at the first event at-or-past each
+        boundary, so the hook observes a consistent simulated-time
+        snapshot; an idle stretch spanning several boundaries fires
+        them back to back (the later ones see empty windows).
+        """
+        while self._next_epoch is not None and now >= self._next_epoch:
+            at = self._next_epoch
+            self._next_epoch = at + self.epoch_ns
+            self.epochs_fired += 1
+            self.on_epoch(at, self)
+
     def run(self, max_total_accesses: int | None = None) -> ConcurrentRunResult:
         """Run every driver to completion (or to the access budget)."""
         heap: list[tuple[int, int, ProcessDriver]] = []
@@ -206,6 +233,8 @@ class ConcurrentScheduler:
             now, index, driver = heapq.heappop(heap)
             if self._timeline_index < len(self._timeline):
                 self._fire_due_events(now)
+            if self._next_epoch is not None:
+                self._fire_due_epochs(now)
             if driver.done:
                 continue
             process = vmm.process(driver.pid)
@@ -266,6 +295,8 @@ def simulate_concurrent(
     migration_cost_ns: int = DEFAULT_MIGRATION_COST_NS,
     allow_migration: bool = True,
     timeline: Sequence[TimelineEvent] | None = None,
+    epoch_ns: int | None = None,
+    on_epoch: Callable[[int, ConcurrentScheduler], object] | None = None,
 ) -> ConcurrentRunResult:
     """Wire *workloads* onto *machine* and run them concurrently.
 
@@ -317,6 +348,8 @@ def simulate_concurrent(
         timeline=[
             (start_ns + at, callback) for at, callback in (timeline or ())
         ],
+        epoch_ns=epoch_ns,
+        on_epoch=on_epoch,
     )
     return scheduler.run(max_total_accesses=max_total_accesses)
 
@@ -331,6 +364,8 @@ def simulate_cluster(
     allow_migration: bool = True,
     failure_plan: Iterable = (),
     timeline: Sequence[TimelineEvent] | None = None,
+    epoch_ns: int | None = None,
+    on_epoch: Callable[[int, ConcurrentScheduler], object] | None = None,
 ) -> ConcurrentRunResult:
     """Run *workloads* on a cluster machine with failure injection.
 
@@ -373,4 +408,6 @@ def simulate_cluster(
         max_total_accesses=max_total_accesses,
         allow_migration=allow_migration,
         timeline=merged,
+        epoch_ns=epoch_ns,
+        on_epoch=on_epoch,
     )

@@ -10,6 +10,7 @@ from repro.workloads.patterns import (
     StrideWorkload,
     ZipfianWorkload,
 )
+from repro.workloads.phased import PhasedWorkload
 from repro.workloads.powergraph import PowerGraphWorkload
 from repro.workloads.segments import SegmentMixWorkload
 from repro.workloads.trace_io import RecordedWorkload, load_trace, save_trace
@@ -18,6 +19,7 @@ from repro.workloads.voltdb import VoltDBWorkload
 __all__ = [
     "MemcachedWorkload",
     "NumpyMatmulWorkload",
+    "PhasedWorkload",
     "PowerGraphWorkload",
     "RandomWorkload",
     "RecordedWorkload",

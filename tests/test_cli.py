@@ -210,3 +210,63 @@ class TestScenarioCommands:
             build_parser().parse_args(
                 ["scenario", "sweep", "--cores", "two,four"]
             )
+
+
+class TestControlCommand:
+    def test_ab_table_and_verdict(self, capsys):
+        code = main(
+            [
+                "control", "phase-shift-governed",
+                "--wss-pages", "256", "--accesses", "2000", "--cores", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "governed" in out
+        assert "static-leap" in out
+        assert "agg hit rate" in out
+        assert "best static" in out
+        assert "governor decisions" in out
+        assert "limit trajectory phased" in out
+
+    def test_default_scenario_is_phase_shift_governed(self):
+        args = build_parser().parse_args(["control"])
+        assert args.name == "phase-shift-governed"
+
+    def test_json_payload_reports_decisions_and_limits(self, capsys):
+        import json
+
+        code = main(
+            [
+                "control", "phase-shift-governed", "--json",
+                "--wss-pages", "256", "--accesses", "1500", "--cores", "2",
+                "--statics", "leap,ghb",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["arms"]) == {"governed", "static-leap", "static-ghb"}
+        governed = payload["arms"]["governed"]
+        assert "decisions" in governed["control"]
+        # Governor-only scenario: a trajectory exists but never moves.
+        assert len(governed["control"]["limits"]["phased"]) == 1
+        assert "rebalances" not in governed["control"]
+        assert payload["summary"]["best_static"].startswith("static-")
+
+    def test_ungoverned_scenario_fails_cleanly(self, capsys):
+        code = main(
+            ["control", "web-tier-zipf", "--wss-pages", "256", "--accesses", "900"]
+        )
+        assert code == 2
+        assert "control plane" in capsys.readouterr().err
+
+    def test_balanced_scenario_prints_rebalances(self, capsys):
+        code = main(
+            [
+                "control", "noisy-neighbor-balanced",
+                "--wss-pages", "256", "--accesses", "2400", "--cores", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "memory rebalances" in out or "no budget moved" in out

@@ -9,6 +9,7 @@ from repro.perf import (
     ARTIFACT_SCHEMA_VERSION,
     cluster_profile,
     compare_artifacts,
+    control_profile,
     fig13_profile,
     load_artifact,
     percentiles_us,
@@ -297,3 +298,63 @@ class TestScenariosProfile:
         )
         assert code == 1
         assert "PERF GATE FAILED" in capsys.readouterr().out
+
+
+class TestControlProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return control_profile(wss_pages=256, accesses=2000, cores=2)
+
+    def test_artifact_shape(self, profile):
+        artifact, ab = profile
+        assert artifact["bench"] == "control"
+        assert artifact["engine"] == "control"
+        assert artifact["config"]["scenario"] == "phase-shift-governed"
+        # One row per (arm, tenant), keyed "<arm>/<tenant>" so the
+        # standard gate covers governed and static arms alike.
+        arms = {key.split("/")[0] for key in artifact["apps"]}
+        assert "governed" in arms
+        assert any(arm.startswith("static-") for arm in arms)
+        for row in artifact["apps"].values():
+            assert row["p50_us"] <= row["p95_us"] <= row["p99_us"]
+            assert row["completion_s"] > 0
+        control = artifact["control"]
+        assert set(control["hit_rates"]) == set(ab["arms"])
+        assert control["epochs_fired"] > 0
+
+    def test_governed_beats_best_static_in_gate_profile(self, profile):
+        """Acceptance: the gated control profile proves the governor
+        recovers hit rate after the phase shift while every static
+        policy stays degraded."""
+        artifact, _ = profile
+        control = artifact["control"]
+        assert control["governed_beats_static"], control
+        assert control["governed_hit_rate"] > control["best_static_hit_rate"]
+        assert control["decisions"], "the win must come from policy swaps"
+
+    def test_deterministic(self, profile):
+        artifact, _ = profile
+        again, _ = control_profile(wss_pages=256, accesses=2000, cores=2)
+        assert again["apps"] == artifact["apps"]
+        assert again["control"] == artifact["control"]
+
+    def test_committed_baseline_proves_the_win(self):
+        """BENCH_control_baseline.json must carry a governed win: the
+        repo's own evidence cannot claim otherwise."""
+        baseline = load_artifact("BENCH_control_baseline.json")
+        assert baseline["control"]["governed_beats_static"] is True
+
+    def test_cli_control_gate_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        args = ["--profile", "control", "--wss-pages", "1024"]
+        args += ["--accesses", "2400", "--cores", "2"]
+        assert perf_main(["--out", str(out), *args]) == 0
+        baseline = out / "BENCH_control.json"
+        assert baseline.exists()
+        code = perf_main(
+            ["--out", str(tmp_path / "second"), *args, "--baseline", str(baseline)]
+        )
+        assert code == 0
+        out_text = capsys.readouterr().out
+        assert "perf gate OK" in out_text
+        assert "governed hit rate" in out_text

@@ -111,3 +111,73 @@ class TestPrefetchWindow:
             assert 0 <= size <= 8
             assert size >= previous // 2
             previous = size
+
+
+class TestAbsorb:
+    """Shard-migration merge semantics (split-merge support)."""
+
+    def test_absorb_into_warmed_window_keeps_larger_size(self):
+        warm = PrefetchWindow()
+        for _ in range(7):
+            warm.record_hit()
+        warm.next_size(follows_trend=True)  # previous_size = 8
+        cold = PrefetchWindow()
+        cold.record_hit()
+        cold.next_size(follows_trend=True)  # previous_size = 2
+        warm.absorb(cold)
+        assert warm.previous_size == 8
+
+    def test_absorb_weaker_into_stronger_is_asymmetric(self):
+        strong = PrefetchWindow()
+        for _ in range(7):
+            strong.record_hit()
+        strong.next_size(follows_trend=True)
+        weak = PrefetchWindow()
+        weak.next_size(follows_trend=False)  # suspended, size 0
+        weak.absorb(strong)
+        # The fresh shard inherits the learned aggressiveness.
+        assert weak.previous_size == strong.previous_size == 8
+
+    def test_absorb_both_zero_stays_zero(self):
+        a = PrefetchWindow()
+        b = PrefetchWindow()
+        a.absorb(b)
+        assert a.previous_size == 0
+        assert a.cache_hits == 0
+        # A merge of two cold shards must not invent a window.
+        assert a.next_size(follows_trend=False) == 0
+
+    def test_absorb_pools_pending_hits(self):
+        a = PrefetchWindow()
+        b = PrefetchWindow()
+        for _ in range(3):
+            a.record_hit()
+        for _ in range(2):
+            b.record_hit()
+        a.absorb(b)
+        assert a.cache_hits == 5
+
+    def test_pooled_hits_cross_max_size_on_next_round(self):
+        a = PrefetchWindow(max_size=8)
+        b = PrefetchWindow(max_size=8)
+        for _ in range(5):
+            a.record_hit()
+        for _ in range(5):
+            b.record_hit()
+        a.absorb(b)
+        # Chit = 10 → roundup(11) = 16, but the cap still binds.
+        assert a.next_size(follows_trend=True) == 8
+
+    def test_absorb_leaves_source_intact(self):
+        source = PrefetchWindow()
+        for _ in range(3):
+            source.record_hit()
+        source.next_size(follows_trend=True)
+        source.record_hit()
+        destination = PrefetchWindow()
+        destination.absorb(source)
+        # Split: the source shard keeps serving its old core.
+        assert source.previous_size == 4
+        assert source.cache_hits == 1
+        assert destination.previous_size == 4
+        assert destination.cache_hits == 1
