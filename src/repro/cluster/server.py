@@ -146,6 +146,9 @@ class MemoryServer(RemoteAgent):
             "writes": self.writes,
             "qp_ops": qp_ops,
             "mean_qp_delay_us": round(qp_delay / max(1, qp_ops) / 1e3, 3),
+            "peak_qp_backlog_us": round(
+                max((qp.stats.peak_backlog_ns for qp in self.qps), default=0) / 1e3, 3
+            ),
             "utilization": round(self.utilization, 4),
             "pages_stored": len(self.pages),
             "alive": self.alive,

@@ -78,11 +78,17 @@ class AccessHistory:
         if size <= 0:
             return []
         size = min(size, self._count)
-        result = []
-        index = self._head
-        for _ in range(size):
-            result.append(self._slots[index])
-            index = (index - 1) % self.capacity
+        if size == 0:
+            return []
+        head = self._head
+        start = head - size + 1
+        if start >= 0:
+            result = self._slots[start : head + 1]
+            result.reverse()
+            return result
+        # Wrapped: head..0, then capacity-1 .. capacity+start.
+        result = self._slots[head::-1]
+        result += self._slots[: self.capacity + start - 1 : -1]
         return result
 
     def snapshot(self) -> list[int]:

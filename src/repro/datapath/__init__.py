@@ -1,9 +1,11 @@
-"""Data paths: the legacy block layer and Leap's lean path."""
+"""Data paths: the legacy block layer, Leap's lean path, and the
+staged fault pipeline they both plug into."""
 
 from repro.datapath.backends import DiskBackend, IOBackend, RemoteBackend
 from repro.datapath.base import DataPath, ReadTiming
 from repro.datapath.block_layer import LegacyBlockPath
 from repro.datapath.lean_path import LeanLeapPath
+from repro.datapath.pipeline import FaultPipeline
 from repro.datapath.stages import (
     CACHE_LOOKUP_NS,
     StageModel,
@@ -17,6 +19,7 @@ __all__ = [
     "CACHE_LOOKUP_NS",
     "DataPath",
     "DiskBackend",
+    "FaultPipeline",
     "IOBackend",
     "LeanLeapPath",
     "LegacyBlockPath",

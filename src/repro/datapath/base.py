@@ -4,7 +4,11 @@ A data path turns "fetch/flush this page" into latency, combining its
 software stage costs (:mod:`repro.datapath.stages`) with the backend's
 queue-aware device timing.  Demand reads *block* the faulting process;
 prefetch reads and write-backs are asynchronous — the caller gets a
-completion timestamp and the process keeps running.
+completion timestamp and the process keeps running.  The staged
+:class:`~repro.datapath.pipeline.FaultPipeline` registers both demand
+and prefetch reads (with these completion timestamps as arrival
+deadlines) on its :class:`~repro.rdma.completion.CompletionQueue`, so
+duplicate keys coalesce instead of re-traversing this path.
 
 Each path also prices a *page-cache hit*: the paper observes that the
 default data path's constant overheads (locking, LRU bookkeeping,

@@ -64,6 +64,13 @@ class KswapdReclaimer:
         self.scans = 0
         self.freed = 0
 
+    @property
+    def next_scan_due_ns(self) -> int:
+        """First simulated instant at which :meth:`maybe_scan` would
+        actually scan — the fault pipeline hoists the periodic call out
+        of the per-access path by comparing against this boundary."""
+        return self._last_scan + self.scan_period_ns
+
     def maybe_scan(self, now: int) -> list[CacheEntry]:
         """Run the periodic scan if its period has elapsed."""
         freed: list[CacheEntry] = []

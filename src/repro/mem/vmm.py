@@ -1,4 +1,4 @@
-"""The virtual memory manager: the fault path, end to end.
+"""The virtual memory manager: memory mechanics under the fault pipeline.
 
 This is where the substrates compose into the paper's Figure 1 / 6
 flow.  For every page access:
@@ -9,13 +9,23 @@ flow.  For every page access:
    and first evictions then give pages their backing-store placement
    in eviction order, reproducing the swap-layout contiguity both
    Read-Ahead and Leap rely on.)
-3. **Page cache hit?** Pay the path's hit cost (ready) or block until
-   the in-flight prefetch lands (partial stall).  Consume the entry —
+3. **Page cache hit?** Pay the path's hit cost (ready) or coalesce
+   onto the in-flight prefetch's completion-queue entry (partial
+   stall — the read is never issued twice).  Consume the entry —
    instantly freed under Leap's eager policy — and feed the
    prefetcher's accuracy loop.
 4. **Full miss** — pay allocation wait (pressure-dependent, §4.3),
    walk the data path to the backing store, then consult the
    prefetcher and issue its candidates asynchronously.
+
+The fault *flow* itself — classify → cache-lookup → issue → complete →
+map — lives in :class:`repro.datapath.pipeline.FaultPipeline`;
+:meth:`VirtualMemoryManager.access` is a thin adapter over it and
+:meth:`VirtualMemoryManager.access_batch` is the batched entry point
+that drains completions once per batch.  This module keeps the
+memory-management mechanics the pipeline calls back into: mapping,
+eviction, cgroup charging, and the cache-pressure policy that makes
+over-aggressive prefetching expensive.
 
 Eviction is cgroup-driven: mapping past the process's limit unmaps its
 coldest resident page; dirty or never-placed victims are written back
@@ -25,72 +35,38 @@ the dispatch queues).
 
 from __future__ import annotations
 
-import enum
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.datapath.base import DataPath
-from repro.datapath.stages import CACHE_LOOKUP_NS
+from repro.datapath.pipeline import (
+    FAULT_KINDS,
+    MAP_COST_NS,
+    PREFETCH_HIT_KINDS,
+    AccessKind,
+    AccessOutcome,
+    FaultPipeline,
+)
 from repro.mem.cgroup import MemoryCgroup
 from repro.mem.lru import ActiveInactiveLRU
-from repro.mem.page import Page, PageFlags, PageKey
+from repro.mem.page import PageKey
 from repro.mem.page_cache import PageCache
 from repro.mem.page_table import PageTable
 from repro.mem.reclaim import KswapdReclaimer
 from repro.metrics.counters import PrefetchMetrics
 from repro.metrics.latency import LatencyRecorder
 from repro.prefetchers.base import Prefetcher
-from repro.sim.units import ns
+from repro.rdma.completion import CompletionQueue
 
 __all__ = [
     "AccessKind",
     "AccessOutcome",
     "FAULT_KINDS",
+    "MAP_COST_NS",
     "PREFETCH_HIT_KINDS",
     "ProcessMemory",
     "VirtualMemoryManager",
 ]
-
-#: Page-table update when a cached page is mapped in.
-MAP_COST_NS = ns(100)
-
-
-class _PrefetchPressure(Exception):
-    """Internal signal: no cache room left for this prefetch round."""
-
-
-class AccessKind(enum.Enum):
-    """How an access was served."""
-
-    RESIDENT = "resident"
-    MINOR_FAULT = "minor_fault"
-    CACHE_HIT = "cache_hit"
-    CACHE_HIT_INFLIGHT = "cache_hit_inflight"
-    MAJOR_FAULT = "major_fault"
-
-
-#: Kinds that represent remote/backing-store page access events — the
-#: population the paper's latency CDFs are drawn over.
-FAULT_KINDS = (
-    AccessKind.CACHE_HIT,
-    AccessKind.CACHE_HIT_INFLIGHT,
-    AccessKind.MAJOR_FAULT,
-)
-
-#: Kinds served by a prefetched cache entry — the numerator of every
-#: "hit rate" in scenario payloads and control-plane telemetry (one
-#: definition, so the governor optimizes exactly what the A/B judges).
-PREFETCH_HIT_KINDS = (AccessKind.CACHE_HIT, AccessKind.CACHE_HIT_INFLIGHT)
-
-
-@dataclass(frozen=True, slots=True)
-class AccessOutcome:
-    """Result of one page access."""
-
-    kind: AccessKind
-    latency_ns: int
-    key: PageKey
-    served_by_prefetch: bool = False
 
 
 @dataclass
@@ -127,6 +103,7 @@ class VirtualMemoryManager:
         metrics: PrefetchMetrics | None = None,
         recorder: LatencyRecorder | None = None,
         batch_prefetch: bool = True,
+        completion_queue: CompletionQueue | None = None,
     ) -> None:
         self.data_path = data_path
         self.cache = cache
@@ -141,6 +118,12 @@ class VirtualMemoryManager:
         self._processes: dict[int, ProcessMemory] = {}
         self._next_frame = 0
         self.cache.on_free = self._on_cache_free
+        self.pipeline = FaultPipeline(self, completion_queue)
+
+    @property
+    def completion_queue(self) -> CompletionQueue:
+        """The pipeline's shared in-flight read queue."""
+        return self.pipeline.cq
 
     # -- process management -------------------------------------------------
     def register_process(
@@ -225,7 +208,8 @@ class VirtualMemoryManager:
         Ready entries are preferred; with ``include_inflight`` an entry
         whose read has not landed yet may be dropped too (the kernel
         equivalent: the page is freed as soon as the I/O completes,
-        without ever serving a hit).
+        without ever serving a hit — its completion-queue entry stays
+        on the wire until its arrival deadline).
         """
         skipped: list = []
         dropped = False
@@ -322,64 +306,6 @@ class VirtualMemoryManager:
         process.page_table.map_page(vpn, frame=self._next_frame, now=now, dirty=dirty)
         process.resident_lru.add(vpn, None)
 
-    def _admit_prefetch(
-        self, candidate: PageKey, accepted: list[PageKey], now: int
-    ) -> ProcessMemory | None:
-        """Validate one prefetch candidate and charge its cache page.
-
-        Returns the owning process when the candidate should be read,
-        None to skip it, and raises :class:`_PrefetchPressure` (caught
-        by the issue loop) under genuine memory pressure.
-        """
-        cpid, cvpn = candidate
-        target = self._processes.get(cpid)
-        if target is None:
-            return None
-        if not 0 <= cvpn < target.address_space_pages:
-            return None
-        if cvpn not in target.materialized:
-            return None  # no backing copy exists yet
-        if target.page_table.is_resident(cvpn):
-            return None
-        if candidate in self.cache or candidate in accepted:
-            return None
-        if not self._reserve_cache_page(target, now):
-            raise _PrefetchPressure  # stop prefetching this round
-        return target
-
-    def _insert_prefetched(
-        self, candidate: PageKey, target: ProcessMemory, now: int, arrival: int
-    ) -> None:
-        page = Page(key=candidate, arrival_time=arrival, issued_time=now)
-        page.set_flag(PageFlags.PREFETCHED)
-        self.cache.insert(page, now, prefetched=True)
-        target.cache_fifo.append(candidate)
-        self.metrics.record_issue(candidate, now, arrival)
-
-    def _issue_prefetches(self, process: ProcessMemory, key: PageKey, now: int) -> None:
-        batching = self.batch_prefetch and self.data_path.supports_batching
-        accepted: list[PageKey] = []
-        targets: list[ProcessMemory] = []
-        for candidate in self.prefetcher.candidates(key, now):
-            try:
-                target = self._admit_prefetch(candidate, accepted, now)
-            except _PrefetchPressure:
-                break
-            if target is None:
-                continue
-            if batching:
-                # Collect the window; one submission sweep at the end.
-                accepted.append(candidate)
-                targets.append(target)
-                continue
-            arrival = self.data_path.async_read(candidate, now, process.core)
-            self._insert_prefetched(candidate, target, now, arrival)
-        if not accepted:
-            return
-        arrivals = self.data_path.async_read_batch(accepted, now, process.core)
-        for candidate, target, arrival in zip(accepted, targets, arrivals):
-            self._insert_prefetched(candidate, target, now, arrival)
-
     def _record(self, outcome: AccessOutcome) -> AccessOutcome:
         if self.recorder is not None and outcome.kind in FAULT_KINDS:
             self.recorder.record(outcome.kind.value, outcome.latency_ns)
@@ -387,67 +313,40 @@ class VirtualMemoryManager:
 
     # -- the fault path -------------------------------------------------------
     def access(self, pid: int, vpn: int, now: int, is_write: bool = False) -> AccessOutcome:
-        """Serve one page access at simulated time *now*."""
-        process = self._processes[pid]
-        if not 0 <= vpn < process.address_space_pages:
-            raise ValueError(
-                f"pid {pid}: vpn {vpn} outside address space "
-                f"of {process.address_space_pages} pages"
-            )
-        self.reclaimer.maybe_scan(now)
+        """Serve one page access at simulated time *now*.
 
-        if process.page_table.is_resident(vpn):
-            process.resident_lru.reference(vpn)
-            if is_write:
-                process.page_table.mark_dirty(vpn)
-            return AccessOutcome(AccessKind.RESIDENT, 0, (pid, vpn))
+        A thin adapter over the staged
+        :class:`~repro.datapath.pipeline.FaultPipeline` — every run
+        path (``simulate``, ``run_concurrent``, ``run_cluster``) faults
+        through the same five stages.
+        """
+        return self.pipeline.access(pid, vpn, now, is_write)
 
-        key = (pid, vpn)
-        if vpn not in process.materialized:
-            # First touch: zero-fill minor fault, no backing store.
-            latency = self.reclaimer.allocation_wait_ns(now)
-            self._map_page(process, vpn, now, dirty=True)
-            process.materialized.add(vpn)
-            self.metrics.record_minor_fault()
-            return self._record(AccessOutcome(AccessKind.MINOR_FAULT, latency, key))
+    def access_batch(
+        self,
+        pid: int,
+        vpns,
+        now: int,
+        is_write: bool = False,
+        think_ns: int = 0,
+    ) -> list[AccessOutcome]:
+        """Serve a sequence of accesses of one process, batched.
 
-        self.metrics.record_fault()
-        entry = self.cache.lookup(key, now)
-        self.prefetcher.on_fault(key, now, cache_hit=entry is not None)
-
-        if entry is not None:
-            page = entry.page
-            was_prefetched = page.prefetched
-            if page.is_ready(now):
-                kind = AccessKind.CACHE_HIT
-                latency = self.data_path.cache_hit_ns()
-            else:
-                kind = AccessKind.CACHE_HIT_INFLIGHT
-                latency = CACHE_LOOKUP_NS + (page.arrival_time - now) + MAP_COST_NS
-            self.cache.consume(key, now)
-            # The entry's cache charge transfers to the resident mapping
-            # (_map_page re-charges); consumed entries never uncharge in
-            # the free callback, so this is the single hand-over point.
-            process.cgroup.uncharge(1)
-            process.cache_charged = max(0, process.cache_charged - 1)
-            self._map_page(process, vpn, now, dirty=is_write)
-            if self.data_path.backend.release(key):
-                process.slot_releases += 1
-            if was_prefetched:
-                self.prefetcher.on_prefetch_hit(key, now)
-                self.metrics.record_hit(key, now)
-            return self._record(
-                AccessOutcome(kind, latency, key, served_by_prefetch=was_prefetched)
-            )
-
-        # Full miss: block on the data path.
-        self.metrics.record_miss()
-        allocation_wait = self.reclaimer.allocation_wait_ns(now)
-        timing = self.data_path.demand_read(key, now, process.core)
-        latency = CACHE_LOOKUP_NS + allocation_wait + timing.total_ns
-        self._map_page(process, vpn, now, dirty=is_write)
-        self._issue_prefetches(process, key, now)
-        # Free the backing slot only after the prefetcher used its offset.
-        if self.data_path.backend.release(key):
-            process.slot_releases += 1
-        return self._record(AccessOutcome(AccessKind.MAJOR_FAULT, latency, key))
+        The batched fault entry point: completions are drained and the
+        background-reclaim check run **once** at the batch boundary,
+        then each access runs back to back — the i-th at the (i-1)-th's
+        finish time plus *think_ns*.  Semantically identical to calling
+        :meth:`access` in a loop with the same timing; the per-access
+        overhead is what disappears.
+        """
+        pipeline = self.pipeline
+        pipeline.begin_batch(now)
+        outcomes: list[AccessOutcome] = []
+        append = outcomes.append
+        access = pipeline.access
+        t = now
+        for vpn in vpns:
+            outcome = access(pid, vpn, t, is_write)
+            append(outcome)
+            t += outcome.latency_ns + think_ns
+        return outcomes

@@ -46,6 +46,16 @@ class PrefetchMetrics:
     #: — the pollution the eager eviction policy exists to bound, and
     #: the signal the control plane's governor scores policies on.
     evicted_unused: int = 0
+    #: Demand faults that coalesced onto an in-flight read's
+    #: completion-queue entry instead of re-issuing it (every
+    #: ``CACHE_HIT_INFLIGHT`` is one of these).
+    coalesced_faults: int = 0
+    #: Prefetch rounds clipped because the issuing core's QP hit its
+    #: completion-queue depth limit (0 when no limit is configured).
+    prefetch_backpressured: int = 0
+    #: Peak reads in flight at once (demand + prefetch) — the
+    #: queue-depth high-water mark of the fault pipeline.
+    inflight_peak: int = 0
     timeliness_ns: list[int] = field(default_factory=list)
     _outstanding: dict[PageKey, _IssueRecord] = field(default_factory=dict)
 
@@ -58,6 +68,16 @@ class PrefetchMetrics:
 
     def record_miss(self) -> None:
         self.misses += 1
+
+    def record_coalesced(self) -> None:
+        self.coalesced_faults += 1
+
+    def record_backpressure(self) -> None:
+        self.prefetch_backpressured += 1
+
+    def note_inflight_depth(self, depth: int) -> None:
+        if depth > self.inflight_peak:
+            self.inflight_peak = depth
 
     def record_issue(self, key: PageKey, issued_at: int, arrival_at: int) -> None:
         self.prefetch_issued += 1
@@ -134,6 +154,9 @@ class PrefetchMetrics:
             "inflight_hits": self.inflight_hits,
             "carryover_hits": self.carryover_hits,
             "evicted_unused": self.evicted_unused,
+            "coalesced_faults": self.coalesced_faults,
+            "prefetch_backpressured": self.prefetch_backpressured,
+            "inflight_peak": self.inflight_peak,
             "accuracy": self.accuracy,
             "coverage": self.coverage,
             "miss_ratio": self.miss_ratio,

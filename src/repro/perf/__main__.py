@@ -8,6 +8,11 @@ cluster (``--profile cluster``), the multi-tenant scenario set
 — when ``--baseline`` is given — fails (exit 1) if any gated metric
 regressed past the budget.  See PERF_BUDGETS.md for the budgets and
 the waiver policy.
+
+``python -m repro.perf compare <old.json> <new.json>`` (also reachable
+as ``repro perf compare``) prints per-section deltas between two
+artifacts — what the CI perf-gate step runs after the gate so a
+reviewer sees *how far* every row moved, not just pass/fail.
 """
 
 from __future__ import annotations
@@ -61,6 +66,19 @@ def add_perf_arguments(parser: argparse.ArgumentParser) -> None:
         default=4,
         help="memory servers (cluster profile only)",
     )
+    sub = parser.add_subparsers(dest="perf_command")
+    compare = sub.add_parser(
+        "compare",
+        help="print per-section metric deltas between two BENCH_*.json artifacts",
+    )
+    compare.add_argument("old", help="baseline artifact (e.g. BENCH_fig13_baseline.json)")
+    compare.add_argument("new", help="current artifact (e.g. artifacts/BENCH_fig13.json)")
+    compare.add_argument(
+        "--all-metrics",
+        action="store_true",
+        help="show every shared numeric metric, not just the gated ones",
+    )
+    compare.set_defaults(handler=run_compare)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +89,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_perf_arguments(parser)
     return parser
+
+
+def _format_delta(old: float, new: float) -> str:
+    if old == new:
+        return "unchanged"
+    if not old:
+        return f"{old:g} -> {new:g}"
+    sign = "+" if new > old else ""
+    return f"{old:g} -> {new:g} ({sign}{new / old - 1.0:.1%})"
+
+
+def run_compare(args: argparse.Namespace) -> int:
+    """Print per-section deltas between two artifacts (exit 0/1 on I/O)."""
+    try:
+        old = load_artifact(args.old)
+        new = load_artifact(args.new)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}")
+        return 1
+    metrics = None if args.all_metrics else DEFAULT_GATED_METRICS
+    for section in ("apps", "servers"):
+        old_rows = old.get(section, {})
+        new_rows = new.get(section, {})
+        if not old_rows and not new_rows:
+            continue
+        print(f"[{section}]")
+        for name in sorted(set(old_rows) | set(new_rows)):
+            if name not in old_rows:
+                print(f"  {name}: new row (not in {args.old})")
+                continue
+            if name not in new_rows:
+                print(f"  {name}: VANISHED (present only in {args.old})")
+                continue
+            row_old, row_new = old_rows[name], new_rows[name]
+            keys = metrics
+            if keys is None:
+                keys = sorted(
+                    k
+                    for k in set(row_old) & set(row_new)
+                    if isinstance(row_old[k], (int, float))
+                    and not isinstance(row_old[k], bool)
+                )
+            shown = []
+            for metric in keys:
+                if metric not in row_old or metric not in row_new:
+                    continue
+                shown.append(f"{metric} {_format_delta(row_old[metric], row_new[metric])}")
+            if shown:
+                print(f"  {name}: " + "; ".join(shown))
+    old_wall = old.get("wall_clock_s")
+    new_wall = new.get("wall_clock_s")
+    if old_wall is not None and new_wall is not None:
+        print(
+            f"[wall_clock_s] {_format_delta(old_wall, new_wall)} "
+            "(host-dependent, not gated)"
+        )
+    return 0
 
 
 def _run_profile(args: argparse.Namespace) -> dict:
@@ -115,7 +190,9 @@ def _run_profile(args: argparse.Namespace) -> dict:
 
 
 def run(args: argparse.Namespace) -> int:
-    """Execute the perf profile + gate for a parsed namespace."""
+    """Execute the perf profile + gate (or compare) for a namespace."""
+    if getattr(args, "perf_command", None) == "compare":
+        return run_compare(args)
     artifact = _run_profile(args)
     path = write_artifact(artifact, args.out)
     print(f"wrote {path}")

@@ -83,6 +83,16 @@ def profile_concurrent(
     }
     if wall_clock_s is not None:
         artifact["wall_clock_s"] = round(wall_clock_s, 3)
+    # Fault-pipeline counters (informational): coalescing proves demand
+    # faults attach to in-flight prefetches instead of re-issuing, and
+    # the in-flight peak tracks completion-queue depth.
+    metrics = result.machine.metrics
+    artifact["pipeline"] = {
+        "coalesced_faults": metrics.coalesced_faults,
+        "inflight_peak": metrics.inflight_peak,
+        "prefetch_backpressured": metrics.prefetch_backpressured,
+        "completion_queue": result.machine.vmm.completion_queue.stats(),
+    }
     cores = getattr(result, "cores", None)
     if cores:
         makespan = result.makespan_ns
@@ -124,6 +134,9 @@ def profile_cluster(
         servers[str(server_id)] = row
     artifact["servers"] = servers
     artifact["recovery"] = agent.recovery_stats()
+    # Host-side dispatch-queue depth (informational, like recovery):
+    # per-core ops and the peak backlog a submission queued behind.
+    artifact["dispatch"] = {str(c): row for c, row in sorted(agent.dispatch_stats().items())}
     return artifact
 
 

@@ -1,12 +1,16 @@
-"""RDMA substrate: fabric, dispatch queues, slabs, agents."""
+"""RDMA substrate: fabric, dispatch queues, completions, slabs, agents."""
 
 from repro.rdma.agent import HostAgent, RemoteAgent, RemotePageLostError
+from repro.rdma.completion import CompletionQueue, InflightKind, InflightRead
 from repro.rdma.network import RdmaFabric
 from repro.rdma.qp import DispatchQueue, QueueStats, Submission
 from repro.rdma.slab import PageLocation, Slab, SlabAllocator
 
 __all__ = [
+    "CompletionQueue",
     "DispatchQueue",
+    "InflightKind",
+    "InflightRead",
     "HostAgent",
     "PageLocation",
     "QueueStats",

@@ -226,3 +226,22 @@ class HostAgent:
             machine_id: agent.reserved_pages
             for machine_id, agent in self.remote_agents.items()
         }
+
+    def dispatch_stats(self) -> dict[int, dict]:
+        """Per-core dispatch-queue accounting (cores that saw traffic).
+
+        The host-side queue-depth view that complements the fault
+        pipeline's completion-queue counters: operations dispatched,
+        queueing delays, and the peak backlog a submission found ahead
+        of it.
+        """
+        return {
+            queue.core: {
+                "ops": queue.stats.operations,
+                "mean_delay_ns": round(queue.stats.mean_queueing_delay, 1),
+                "max_delay_ns": queue.stats.max_queueing_delay,
+                "peak_backlog_ns": queue.stats.peak_backlog_ns,
+            }
+            for queue in self.queues
+            if queue.stats.operations
+        }

@@ -1,0 +1,197 @@
+"""First-class completion queues for in-flight remote reads.
+
+Leap's datapath keeps the faulting process and the prefetcher on *one*
+asynchronous I/O path: a demand read and a prefetch are both entries on
+a completion queue with an arrival deadline, and a demand fault that
+lands on a page whose prefetch is already in flight **attaches** to
+that entry instead of re-issuing the read (§4.2's "wait on the
+in-flight I/O" case).  :class:`CompletionQueue` is the simulator's
+model of that structure:
+
+* every issued read — demand or prefetch — is an :class:`InflightRead`
+  with an ``arrival_at`` deadline;
+* :meth:`attach` coalesces a duplicate key onto the in-flight entry
+  (counted, never re-issued);
+* :meth:`drain` retires entries whose deadline has passed — the
+  *complete* stage of the fault pipeline, run per fault and once per
+  access batch;
+* an optional per-core ``depth_limit`` models bounded QP queue depth:
+  :meth:`can_issue` refusing a core is the backpressure signal that
+  clips a prefetch round instead of queueing without bound.
+
+The queue is pure bookkeeping over simulated timestamps produced by the
+data path; it draws no randomness and never alters timing, so the
+simulation stays bit-deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+
+__all__ = ["CompletionQueue", "InflightKind", "InflightRead"]
+
+
+class InflightKind(enum.Enum):
+    """Why a read is on the wire."""
+
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+
+
+@dataclass(slots=True)
+class InflightRead:
+    """One read on the wire: identity, origin, and arrival deadline."""
+
+    key: object
+    kind: InflightKind
+    core: int
+    issued_at: int
+    arrival_at: int
+    #: Demand faults that attached to this entry instead of re-issuing.
+    waiters: int = 0
+    #: Retired (drained); kept so stale heap copies are skipped.
+    done: bool = False
+
+
+class CompletionQueue:
+    """In-flight reads ordered by arrival deadline, with depth limits."""
+
+    def __init__(self, depth_limit: int | None = None) -> None:
+        if depth_limit is not None and depth_limit < 1:
+            raise ValueError(f"depth_limit must be >= 1 or None, got {depth_limit}")
+        self.depth_limit = depth_limit
+        #: Latest live entry per key (a key re-issued after an untimely
+        #: eviction shadows the stale copy; the heap retires both).
+        self._by_key: dict[object, InflightRead] = {}
+        self._arrivals: list[tuple[int, int, InflightRead]] = []
+        self._seq = 0
+        self._per_core: dict[int, int] = {}
+        self.issued_demand = 0
+        self.issued_prefetch = 0
+        self.coalesced = 0
+        self.completed = 0
+        self.rejected = 0
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._by_key
+
+    def depth(self, core: int | None = None) -> int:
+        """Outstanding (not yet drained) reads, overall or per core."""
+        if core is None:
+            return len(self._arrivals)
+        return self._per_core.get(core, 0)
+
+    def lookup(self, key: object) -> InflightRead | None:
+        return self._by_key.get(key)
+
+    def can_issue(self, core: int, now: int) -> bool:
+        """Whether *core*'s QP has room for one more read right now.
+
+        Drains due completions first so the check reflects what is
+        genuinely on the wire, not stale bookkeeping.
+        """
+        if self.depth_limit is None:
+            return True
+        self.drain(now)
+        return self._per_core.get(core, 0) < self.depth_limit
+
+    def issue(
+        self,
+        key: object,
+        kind: InflightKind,
+        core: int,
+        issued_at: int,
+        arrival_at: int,
+    ) -> InflightRead:
+        """Register one read on the wire; returns its entry."""
+        if arrival_at < issued_at:
+            raise ValueError(f"arrival {arrival_at} precedes issue {issued_at} for {key}")
+        entry = InflightRead(
+            key=key, kind=kind, core=core, issued_at=issued_at, arrival_at=arrival_at
+        )
+        self._by_key[key] = entry
+        self._seq += 1
+        heapq.heappush(self._arrivals, (arrival_at, self._seq, entry))
+        self._per_core[core] = self._per_core.get(core, 0) + 1
+        if kind is InflightKind.DEMAND:
+            self.issued_demand += 1
+        else:
+            self.issued_prefetch += 1
+        if len(self._arrivals) > self.peak_depth:
+            self.peak_depth = len(self._arrivals)
+        return entry
+
+    def attach(self, key: object, now: int) -> InflightRead | None:
+        """Coalesce a demand fault onto *key*'s in-flight read.
+
+        Returns the entry the fault now waits on (its ``arrival_at`` is
+        the fault's wake-up deadline), or None when the key is not
+        tracked here (e.g. an entry inserted around the queue).
+        """
+        entry = self._by_key.get(key)
+        if entry is None or entry.done:
+            return None
+        entry.waiters += 1
+        self.coalesced += 1
+        return entry
+
+    def record_rejection(self) -> None:
+        """A prefetch round was clipped by the depth limit."""
+        self.rejected += 1
+
+    def drain(self, now: int) -> list[InflightRead]:
+        """Retire every read whose arrival deadline has passed.
+
+        The *complete* stage: entries with ``arrival_at <= now`` leave
+        the wire (their QP depth frees) and are returned in arrival
+        order.  A completion arriving in the same tick as its issue
+        (``arrival_at == now``) retires in that same drain.
+        """
+        arrivals = self._arrivals
+        if not arrivals or arrivals[0][0] > now:
+            return []
+        retired: list[InflightRead] = []
+        while arrivals and arrivals[0][0] <= now:
+            _, _, entry = heapq.heappop(arrivals)
+            if entry.done:
+                continue
+            entry.done = True
+            core_count = self._per_core.get(entry.core, 0)
+            if core_count:
+                self._per_core[entry.core] = core_count - 1
+            if self._by_key.get(entry.key) is entry:
+                del self._by_key[entry.key]
+            self.completed += 1
+            retired.append(entry)
+        return retired
+
+    def reset_stats(self) -> None:
+        """Zero the counters without dropping in-flight entries.
+
+        Called between warmup and measurement: reads issued during
+        warmup stay on the wire, but the measured window starts its
+        accounting fresh (peak restarts from the live depth).
+        """
+        self.issued_demand = 0
+        self.issued_prefetch = 0
+        self.coalesced = 0
+        self.completed = 0
+        self.rejected = 0
+        self.peak_depth = len(self._arrivals)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "issued_demand": self.issued_demand,
+            "issued_prefetch": self.issued_prefetch,
+            "coalesced": self.coalesced,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "inflight": len(self._arrivals),
+            "peak_depth": self.peak_depth,
+        }

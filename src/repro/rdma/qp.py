@@ -41,6 +41,10 @@ class QueueStats:
         self.operations = 0
         self.total_queueing_delay = 0
         self.max_queueing_delay = 0
+        #: Largest backlog (ns of queued service time) any submission
+        #: found in front of it — the queue-depth signal the fault
+        #: pipeline's completion queues summarize per core.
+        self.peak_backlog_ns = 0
 
     def record(self, submission: Submission) -> None:
         self.operations += 1
@@ -74,6 +78,9 @@ class DispatchQueue:
         """
         if service_ns < 0 or fabric_ns < 0:
             raise ValueError("service and fabric times must be non-negative")
+        backlog = self.busy_until - now
+        if backlog > self.stats.peak_backlog_ns:
+            self.stats.peak_backlog_ns = backlog
         started = max(now, self.busy_until)
         self.busy_until = started + service_ns
         submission = Submission(

@@ -199,6 +199,12 @@ def run_scenario(
             "migrations": result.migrations,
             "accesses": sum(s.accesses for s in result.processes.values()),
             "faults": machine.metrics.faults,
+            # Fault-pipeline signals: demand faults that coalesced onto
+            # an in-flight prefetch, the in-flight high-water mark, and
+            # prefetch rounds clipped by a QP depth limit.
+            "coalesced_faults": machine.metrics.coalesced_faults,
+            "inflight_peak": machine.metrics.inflight_peak,
+            "prefetch_backpressured": machine.metrics.prefetch_backpressured,
             # Limit-schedule phases / failure events whose time never
             # arrived — a short run must not hide that its defining
             # events never happened.

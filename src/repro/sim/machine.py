@@ -39,6 +39,7 @@ from repro.prefetchers.next_n_line import NextNLinePrefetcher
 from repro.prefetchers.readahead import ReadAheadPrefetcher
 from repro.prefetchers.stride import StridePrefetcher
 from repro.rdma.agent import HostAgent, RemoteAgent
+from repro.rdma.completion import CompletionQueue
 from repro.rdma.network import RdmaFabric
 from repro.sim.rng import SimRandom
 from repro.sim.units import ms
@@ -87,6 +88,11 @@ class MachineConfig:
     #: sweep (one software-stage traversal per window) instead of one
     #: full traversal per page.
     batch_prefetch: bool = True
+    #: Per-core cap on reads in flight on the fault pipeline's
+    #: completion queue; a saturated core backpressures prefetch rounds
+    #: instead of queueing without bound.  None = unbounded (demand
+    #: reads are never refused either way).
+    qp_depth_limit: int | None = None
     readahead_window: int = 8
     next_n_lines: int = 8
     stride_max_degree: int = 8
@@ -106,6 +112,10 @@ class MachineConfig:
             raise ValueError(f"unknown prefetcher {self.prefetcher!r}")
         if self.eviction not in EVICTIONS:
             raise ValueError(f"unknown eviction policy {self.eviction!r}")
+        if self.qp_depth_limit is not None and self.qp_depth_limit < 1:
+            raise ValueError(
+                f"qp_depth_limit must be >= 1 or None, got {self.qp_depth_limit}"
+            )
 
     def with_overrides(self, **changes) -> "MachineConfig":
         return replace(self, **changes)
@@ -180,6 +190,7 @@ class Machine:
             metrics=self.metrics,
             recorder=self.recorder,
             batch_prefetch=config.batch_prefetch,
+            completion_queue=CompletionQueue(depth_limit=config.qp_depth_limit),
         )
         self._next_core = 0
 
@@ -425,4 +436,5 @@ class Machine:
         self.vmm.metrics = self.metrics
         self.vmm.recorder = self.recorder
         self.cache.stats = CacheStats()
+        self.vmm.completion_queue.reset_stats()
         self.prefetcher.reset()

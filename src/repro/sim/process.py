@@ -54,6 +54,10 @@ class ProcessDriver:
         self.core_wait_ns = 0
         #: Core migrations the scheduler performed on this process.
         self.migrations = 0
+        #: Cached (process, is_resident, reference, page_table) for the
+        #: burst fast path; the objects survive migration and limit
+        #: resizes, so one lookup per driver lifetime suffices.
+        self._burst_state: tuple | None = None
 
     @property
     def done(self) -> bool:
@@ -84,3 +88,93 @@ class ProcessDriver:
             if outcome.kind in FAULT_KINDS:
                 self.fault_latencies.append(outcome.latency_ns)
         return True
+
+    def step_burst(
+        self,
+        vmm: VirtualMemoryManager,
+        index: int = 0,
+        stop_time: int | None = None,
+        stop_index: int = 0,
+        events_at: int | None = None,
+        budget: int | None = None,
+    ) -> int:
+        """Execute consecutive accesses through the batched fault path.
+
+        The burst runs until the trace ends, *budget* accesses have
+        executed, the driver's clock reaches *events_at* (a pending
+        timeline or epoch boundary the caller's event loop must fire
+        first), or ``(clock.now, index)`` stops being first in heap
+        order against ``(stop_time, stop_index)`` — exactly the points
+        at which the per-access event loop would have preempted this
+        driver, so a burst run is bit-identical to single stepping.
+
+        The fault pipeline's batch boundary runs once up front (drain
+        completions, background-reclaim check); inside the burst,
+        resident hits take a short inline path and everything else goes
+        through :meth:`FaultPipeline.access`.  Returns the number of
+        accesses executed (0 when the trace had already ended).
+        """
+        if self.done:
+            return 0
+        pipeline = vmm.pipeline
+        pipeline.begin_batch(self.clock.now)
+        state = self._burst_state
+        if state is None:
+            process = pipeline.process(self.pid)
+            state = self._burst_state = (
+                process.page_table,
+                process.page_table.is_resident,
+                process.resident_lru.reference,
+                process.address_space_pages,
+            )
+        page_table, is_resident, reference, address_space = state
+        clock = self.clock
+        trace = self._trace
+        kind_counts = self.kind_counts
+        fault_latencies = self.fault_latencies
+        pipeline_access = pipeline.access
+        pid = self.pid
+        fault_kinds = FAULT_KINDS
+        executed = 0
+        resident_hits = 0
+        try:
+            while True:
+                if executed:
+                    t = clock.now
+                    if events_at is not None and t >= events_at:
+                        break
+                    if stop_time is not None and (
+                        t > stop_time or (t == stop_time and index >= stop_index)
+                    ):
+                        break
+                    if budget is not None and executed >= budget:
+                        break
+                access = next(trace, None)
+                if access is None:
+                    self.finished_ns = clock.now
+                    break
+                now = clock.advance(access.think_ns)
+                vpn = access.vpn
+                if 0 <= vpn < address_space and is_resident(vpn):
+                    # Inline resident fast path: identical bookkeeping
+                    # to the pipeline's classify stage, minus the call.
+                    if now >= pipeline.next_scan_due:
+                        pipeline.run_scans(now)
+                    reference(vpn)
+                    if access.is_write:
+                        page_table.mark_dirty(vpn)
+                    resident_hits += 1
+                else:
+                    outcome = pipeline_access(pid, vpn, now, access.is_write)
+                    latency = outcome.latency_ns
+                    clock.advance(latency)
+                    kind_counts[outcome.kind] += 1
+                    self.total_fault_latency_ns += latency
+                    if outcome.kind in fault_kinds:
+                        fault_latencies.append(latency)
+                self.accesses += 1
+                executed += 1
+        finally:
+            if resident_hits:
+                kind_counts[AccessKind.RESIDENT] += resident_hits
+        return executed

@@ -16,6 +16,7 @@ from __future__ import annotations
 import hashlib
 import math
 import random
+from bisect import bisect_left
 from typing import Sequence
 
 
@@ -34,16 +35,17 @@ class SamplePool:
     index increment instead of an ``exp``/``gauss`` per event.
     """
 
-    __slots__ = ("_values", "_index")
+    __slots__ = ("_values", "_index", "_size")
 
     def __init__(self, values: list) -> None:
         if not values:
             raise ValueError("sample pool cannot be empty")
         self._values = values
         self._index = 0
+        self._size = len(values)
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._size
 
     @property
     def position(self) -> int:
@@ -52,7 +54,7 @@ class SamplePool:
 
     def draw(self):
         index = self._index
-        self._index = index + 1 if index + 1 < len(self._values) else 0
+        self._index = index + 1 if index + 1 < self._size else 0
         return self._values[index]
 
 
@@ -78,15 +80,13 @@ def _zipf_cdf(n_items: int, skew: float) -> list[float]:
 
 
 def _bisect_cdf(cdf: list[float], u: float) -> int:
-    """Index of the first CDF entry >= u (inverse-transform sampling)."""
-    lo, hi = 0, len(cdf) - 1
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if cdf[mid] < u:
-            lo = mid + 1
-        else:
-            hi = mid
-    return lo
+    """Index of the first CDF entry >= u (inverse-transform sampling).
+
+    ``bisect_left`` computes exactly that boundary (every entry to the
+    left is < u) in C; the final min() guards the u == 1.0 edge the old
+    hand-rolled loop clamped implicitly.
+    """
+    return min(bisect_left(cdf, u), len(cdf) - 1)
 
 
 class SimRandom:

@@ -100,7 +100,7 @@ def warmup_process(machine: Machine, pid: int, start_ns: int = 0) -> int:
     driver = ProcessDriver(
         pid, sequential_touch(process.address_space_pages), start_ns=start_ns
     )
-    while driver.step(machine.vmm):
+    while driver.step_burst(machine.vmm):
         pass
     assert driver.finished_ns is not None
     return driver.finished_ns
@@ -124,16 +124,25 @@ def run_processes(
     executed = 0
     while heap:
         _, index, driver = heapq.heappop(heap)
-        progressed = driver.step(machine.vmm)
-        if not progressed:
+        # Burst: run this driver through the batched fault path for as
+        # long as it stays the min-clock choice — bit-identical to
+        # stepping one access per pop, minus the per-access overhead.
+        if heap:
+            stop_time, stop_index = heap[0][0], heap[0][1]
+        else:
+            stop_time, stop_index = None, 0
+        budget = None if max_total_accesses is None else max_total_accesses - executed
+        ran = driver.step_burst(machine.vmm, index, stop_time, stop_index, budget=budget)
+        if not ran:
             continue
-        executed += 1
+        executed += ran
         if max_total_accesses is not None and executed >= max_total_accesses:
             driver.finished_ns = driver.clock.now
             for _, _, leftover in heap:
                 leftover.finished_ns = leftover.clock.now
             break
-        heapq.heappush(heap, (driver.clock.now, index, driver))
+        if not driver.done:
+            heapq.heappush(heap, (driver.clock.now, index, driver))
     summaries = {driver.pid: summarize_driver(driver) for driver in all_drivers}
     return RunResult(machine=machine, processes=summaries)
 

@@ -223,7 +223,16 @@ class ConcurrentScheduler:
             self.on_epoch(at, self)
 
     def run(self, max_total_accesses: int | None = None) -> ConcurrentRunResult:
-        """Run every driver to completion (or to the access budget)."""
+        """Run every driver to completion (or to the access budget).
+
+        Each pop runs the chosen driver as a *burst* through the
+        batched fault path: it keeps executing accesses for as long as
+        it would have stayed first in heap order anyway and no timeline
+        or epoch boundary is due — so the schedule (and every simulated
+        number) is bit-identical to stepping one access per pop, while
+        uncontended stretches skip the per-access heap and event-check
+        overhead entirely.
+        """
         heap: list[tuple[int, int, ProcessDriver]] = []
         for index, driver in enumerate(self.drivers):
             heapq.heappush(heap, (driver.clock.now, index, driver))
@@ -250,20 +259,37 @@ class ConcurrentScheduler:
             if waited:
                 driver.core_wait_ns += waited
                 driver.clock.advance_to(start)
-            progressed = driver.step(vmm)
-            if not progressed:
+            # The burst must hand control back at the next timeline or
+            # epoch boundary so its callbacks fire before any access
+            # past them, exactly as in the one-access-per-pop loop.
+            events_at: int | None = None
+            if self._timeline_index < len(self._timeline):
+                events_at = self._timeline[self._timeline_index][0]
+            next_epoch = self._next_epoch
+            if next_epoch is not None and (events_at is None or next_epoch < events_at):
+                events_at = next_epoch
+            if heap:
+                stop_time, stop_index = heap[0][0], heap[0][1]
+            else:
+                stop_time, stop_index = None, 0
+            budget = None if max_total_accesses is None else max_total_accesses - executed
+            ran = driver.step_burst(vmm, index, stop_time, stop_index, events_at, budget)
+            if not ran:
                 continue
             end = driver.clock.now
             core.busy_until = end
             core.busy_ns += end - start
-            core.accesses += 1
-            executed += 1
+            core.accesses += ran
+            executed += ran
             if max_total_accesses is not None and executed >= max_total_accesses:
                 driver.finished_ns = driver.clock.now
                 for _, _, leftover in heap:
                     if not leftover.done:
                         leftover.finished_ns = leftover.clock.now
                 break
+            # A driver whose trace just ended is still re-queued: its
+            # final pop is where due timeline events fired in the
+            # per-access loop, and the pop path skips done drivers.
             heapq.heappush(heap, (end, index, driver))
         summaries: dict[int, ProcessSummary] = {
             driver.pid: summarize_driver(driver) for driver in self.drivers

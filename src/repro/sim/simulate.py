@@ -6,6 +6,12 @@ fraction of its peak (working set) memory — the 100% / 50% / 25%
 columns of Figure 11 — the working set is materialized by a warmup
 pass, measurements are reset, and the measured run is executed with
 min-clock interleaving.
+
+Like the concurrent and cluster engines, every access faults through
+the one staged :class:`~repro.datapath.pipeline.FaultPipeline` via the
+batched driver path (:meth:`~repro.sim.process.ProcessDriver.step_burst`),
+so completions are drained and background reclaim checked at batch
+boundaries instead of once per access.
 """
 
 from __future__ import annotations

@@ -136,6 +136,33 @@ class TestGate:
         assert {v.app for v in violations} == {"server:0"}
 
 
+class TestPerfCompare:
+    def test_compare_prints_per_section_deltas(self, tmp_path, capsys):
+        old = write_artifact(make_artifact(), tmp_path / "old")
+        current = make_artifact(powergraph={"p95_us": 12.0})
+        current["servers"] = {"0": {"p95_us": 5.0}}
+        new = write_artifact(current, tmp_path / "new")
+        assert perf_main(["compare", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "[apps]" in out and "[servers]" in out
+        assert "powergraph: p95_us 10 -> 12 (+20.0%)" in out
+        assert "numpy: p95_us unchanged" in out
+        assert "0: new row" in out
+
+    def test_compare_flags_vanished_rows(self, tmp_path, capsys):
+        old = write_artifact(make_artifact(), tmp_path / "old")
+        current = make_artifact()
+        del current["apps"]["numpy"]
+        new = write_artifact(current, tmp_path / "new")
+        assert perf_main(["compare", str(old), str(new)]) == 0
+        assert "numpy: VANISHED" in capsys.readouterr().out
+
+    def test_compare_rejects_missing_file(self, tmp_path, capsys):
+        old = write_artifact(make_artifact(), tmp_path)
+        assert perf_main(["compare", str(old), str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().out
+
+
 class TestFig13Profile:
     @pytest.fixture(scope="class")
     def profile(self):
