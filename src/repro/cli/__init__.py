@@ -16,6 +16,11 @@ command group:
   run a scenario under its online control plane (adaptive prefetcher
   governor, tenant memory balancer) against static prefetcher arms
   and report hit rates, policy decisions, and limit trajectories;
+* ``service`` (:mod:`repro.cli.service`) — the long-running run
+  service: ``submit`` scenario/sweep jobs to a persistent queue,
+  ``worker`` processes that fan sweep cells across host cores,
+  ``status``/``result`` for streamed progress and verified
+  content-addressed results, ``gc`` for blob reclamation;
 * ``perf`` — the CI perf gate: emit a scaled-down profile artifact
   (``fig13``, ``cluster``, ``scenarios``, or ``control``) and compare
   it against a committed baseline.
@@ -34,6 +39,7 @@ from repro.cli import cluster as _cluster
 from repro.cli import control as _control
 from repro.cli import figures as _figures
 from repro.cli import scenario as _scenario
+from repro.cli import service as _service
 from repro.cli.common import SYSTEMS, WORKLOADS
 from repro.cli.figures import FIGURES
 
@@ -50,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     _cluster.add_parsers(sub)
     _scenario.add_parsers(sub)
     _control.add_parsers(sub)
+    _service.add_parsers(sub)
 
     from repro.perf.__main__ import add_perf_arguments, run as perf_run
 

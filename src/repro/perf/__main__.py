@@ -100,14 +100,46 @@ def _format_delta(old: float, new: float) -> str:
     return f"{old:g} -> {new:g} ({sign}{new / old - 1.0:.1%})"
 
 
+def _malformed(path: str, artifact: dict) -> str | None:
+    """Why an artifact can't be compared (None when it is well-formed).
+
+    The CI delta step must distinguish schema drift from a perf
+    regression: a regression shows up as deltas against intact
+    sections, while a missing/mangled section means the artifact shape
+    itself changed and the comparison would silently print a partial
+    table.  The latter is an error, not a delta.
+    """
+    apps = artifact.get("apps")
+    if not isinstance(apps, dict) or not apps:
+        return f"{path}: no 'apps' section (malformed or truncated artifact)"
+    for section in ("apps", "servers"):
+        rows = artifact.get(section, {})
+        if not isinstance(rows, dict):
+            return f"{path}: '{section}' section is not a mapping"
+        for name, row in rows.items():
+            if not isinstance(row, dict):
+                return f"{path}: {section}[{name!r}] is not a metrics row"
+    return None
+
+
 def run_compare(args: argparse.Namespace) -> int:
-    """Print per-section deltas between two artifacts (exit 0/1 on I/O)."""
+    """Print per-section deltas between two artifacts.
+
+    Exit codes: 0 deltas printed (regressions are the perf *gate*'s
+    business, never this command's), 1 unreadable/old-schema input,
+    2 structurally malformed input (missing or mangled sections).
+    """
     try:
         old = load_artifact(args.old)
         new = load_artifact(args.new)
     except (OSError, ValueError) as error:
-        print(f"error: {error}")
+        print(f"error: {error}", file=sys.stderr)
         return 1
+    for path, artifact in ((args.old, old), (args.new, new)):
+        reason = _malformed(path, artifact)
+        if reason is not None:
+            print(f"error: {reason}", file=sys.stderr)
+            return 2
     metrics = None if args.all_metrics else DEFAULT_GATED_METRICS
     for section in ("apps", "servers"):
         old_rows = old.get(section, {})

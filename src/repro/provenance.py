@@ -1,0 +1,75 @@
+"""Run provenance: canonical spec hashing and code-revision capture.
+
+Every result the run service stores — and, since the service landed,
+every payload the scenario runner emits — carries enough metadata to
+answer "exactly what produced this number": a canonical hash of the
+spec that was run, the seed, and the code revision of the checkout.
+The content address of a stored run derives from precisely that triple,
+so identical submissions dedupe and a payload can never be attributed
+to the wrong configuration.
+
+Canonicalization is plain JSON with sorted keys and no whitespace, so
+a spec hashes identically regardless of dict insertion order or which
+process (parent or pool worker) computes it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+
+__all__ = ["canonical_json", "code_revision", "run_key", "spec_hash"]
+
+#: Environment override for the code revision (tests pin it; containers
+#: without a git checkout set it from their build metadata).
+CODE_REV_ENV = "REPRO_CODE_REV"
+
+_cached_revision: str | None = None
+
+
+def canonical_json(data) -> str:
+    """The one canonical JSON encoding used for hashing specs."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(spec: dict) -> str:
+    """sha256 over the canonical JSON encoding of *spec*."""
+    return hashlib.sha256(canonical_json(spec).encode()).hexdigest()
+
+
+def code_revision() -> str:
+    """The checkout's git revision (cached; ``unknown`` without git).
+
+    The probe runs in the directory holding this module, not the
+    caller's cwd, so a worker launched from anywhere stamps the
+    revision of the code it actually imports. ``REPRO_CODE_REV``
+    overrides the probe entirely, which is how tests pin a revision and
+    how deployments without a ``.git`` directory still stamp their
+    artifacts.
+    """
+    global _cached_revision
+    override = os.environ.get(CODE_REV_ENV)
+    if override:
+        return override
+    if _cached_revision is None:
+        try:
+            _cached_revision = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+            ).stdout.strip()
+        except (OSError, subprocess.SubprocessError):
+            _cached_revision = "unknown"
+    return _cached_revision
+
+
+def run_key(spec_digest: str, seed: int, code_rev: str) -> str:
+    """Content address of a run: (canonical spec hash, seed, code rev)."""
+    return hashlib.sha256(
+        f"spec:{spec_digest}|seed:{seed}|rev:{code_rev}".encode()
+    ).hexdigest()

@@ -18,8 +18,12 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.runner import (
     aggregate_hit_rate,
+    assemble_sweep_payload,
+    resolve_sweep_scenarios,
     run_control_ab,
     run_scenario,
+    run_sweep_cell,
+    sweep_cells,
     sweep_scenarios,
 )
 from repro.scenarios.spec import (
@@ -48,12 +52,16 @@ __all__ = [
     "Scenario",
     "TenantSpec",
     "aggregate_hit_rate",
+    "assemble_sweep_payload",
     "build_tenant_workloads",
     "get_scenario",
     "list_scenarios",
     "register",
+    "resolve_sweep_scenarios",
     "run_control_ab",
     "run_scenario",
+    "run_sweep_cell",
     "scenario_names",
+    "sweep_cells",
     "sweep_scenarios",
 ]

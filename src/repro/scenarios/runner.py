@@ -23,12 +23,22 @@ from repro.cluster import FailureEvent
 from repro.control import ControlPlane
 from repro.mem.vmm import PREFETCH_HIT_KINDS, AccessKind
 from repro.perf.profile import percentiles_us
+from repro.provenance import code_revision, spec_hash
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import Scenario, build_tenant_workloads
 from repro.sim.machine import PREFETCHERS, Machine, cluster_config, leap_config
 from repro.sim.units import ms
 
-__all__ = ["aggregate_hit_rate", "run_control_ab", "run_scenario", "sweep_scenarios"]
+__all__ = [
+    "aggregate_hit_rate",
+    "assemble_sweep_payload",
+    "resolve_sweep_scenarios",
+    "run_control_ab",
+    "run_scenario",
+    "run_sweep_cell",
+    "sweep_cells",
+    "sweep_scenarios",
+]
 
 
 def _resolve_scenario(
@@ -193,6 +203,23 @@ def run_scenario(
             "engine": "cluster" if machine.cluster is not None else "concurrent",
             "governed": control_plane is not None,
         },
+        # Provenance: exactly what produced these numbers.  The config
+        # hash covers the fully-resolved scenario plus every run knob,
+        # so two payloads with the same hash (and code rev) came from
+        # the same deterministic computation.
+        "provenance": {
+            "code_rev": code_revision(),
+            "config_hash": spec_hash(
+                {
+                    "scenario": scenario.to_dict(),
+                    "seed": seed,
+                    "cores": cores,
+                    "servers": servers,
+                    "prefetcher": chosen_prefetcher,
+                    "max_total_accesses": max_total_accesses,
+                }
+            ),
+        },
         "tenants": _tenant_rows(result, names, workloads),
         "totals": {
             "makespan_s": round(result.makespan_ns / 1e9, 6),
@@ -325,44 +352,109 @@ def sweep_scenarios(
     into N near-identical governed runs.  Use :func:`run_control_ab`
     for governed-vs-static comparisons.
     """
+    resolved = resolve_sweep_scenarios(
+        scenarios, wss_pages=wss_pages, total_accesses=total_accesses
+    )
+    if any(n < 1 for n in servers):
+        raise ValueError("sweep grid servers must be >= 1 (cluster engine)")
+    rows = [
+        run_sweep_cell(cell, seed=seed, max_total_accesses=max_total_accesses)
+        for cell in sweep_cells(resolved, cores, servers, prefetchers)
+    ]
+    return assemble_sweep_payload(resolved, cores, servers, prefetchers, seed, rows)
+
+
+def resolve_sweep_scenarios(
+    scenarios: Iterable[Scenario | str],
+    *,
+    wss_pages: int | None = None,
+    total_accesses: int | None = None,
+) -> list[Scenario]:
+    """Resolve names and strip control planes for a static sweep grid."""
     resolved = [
         replace(s, control=None) if s.control is not None else s
         for s in (_resolve_scenario(s, wss_pages, total_accesses) for s in scenarios)
     ]
     if not resolved:
         raise ValueError("need at least one scenario to sweep")
-    if any(n < 1 for n in servers):
-        raise ValueError("sweep grid servers must be >= 1 (cluster engine)")
-    runs = []
-    for scenario in resolved:
+    return resolved
+
+
+def sweep_cells(
+    scenarios: Sequence[Scenario],
+    cores: Sequence[int],
+    servers: Sequence[int],
+    prefetchers: Sequence[str],
+) -> list[dict]:
+    """The sweep grid as an ordered list of cell descriptors.
+
+    The nesting order (scenario, cores, servers, prefetcher) is the
+    payload's ``runs`` order; the run service fans these same cells out
+    across worker processes and reassembles by ``index``, so a pooled
+    sweep is byte-identical to an inline one.
+    """
+    cells = []
+    for scenario in scenarios:
         for n_cores in cores:
             for n_servers in servers:
                 for prefetcher in prefetchers:
-                    payload = run_scenario(
-                        scenario,
-                        seed=seed,
-                        cores=n_cores,
-                        servers=n_servers,
-                        prefetcher=prefetcher,
-                        max_total_accesses=max_total_accesses,
-                    )
-                    runs.append(
+                    cells.append(
                         {
-                            "scenario": scenario.name,
+                            "index": len(cells),
+                            "scenario": scenario,
                             "cores": n_cores,
                             "servers": n_servers,
                             "prefetcher": prefetcher,
-                            "tenants": payload["tenants"],
-                            "totals": payload["totals"],
                         }
                     )
+    return cells
+
+
+def run_sweep_cell(
+    cell: dict, *, seed: int, max_total_accesses: int | None = None
+) -> dict:
+    """Run one grid cell; returns the sweep payload's ``runs`` row."""
+    payload = run_scenario(
+        cell["scenario"],
+        seed=seed,
+        cores=cell["cores"],
+        servers=cell["servers"],
+        prefetcher=cell["prefetcher"],
+        max_total_accesses=max_total_accesses,
+    )
     return {
-        "grid": {
-            "scenarios": [s.name for s in resolved],
-            "cores": list(cores),
-            "servers": list(servers),
-            "prefetchers": list(prefetchers),
-            "seed": seed,
+        "scenario": payload["scenario"],
+        "cores": cell["cores"],
+        "servers": cell["servers"],
+        "prefetcher": cell["prefetcher"],
+        "tenants": payload["tenants"],
+        "totals": payload["totals"],
+    }
+
+
+def assemble_sweep_payload(
+    scenarios: Sequence[Scenario],
+    cores: Sequence[int],
+    servers: Sequence[int],
+    prefetchers: Sequence[str],
+    seed: int,
+    rows: Sequence[dict],
+) -> dict:
+    """Wrap cell rows (in :func:`sweep_cells` order) in the sweep payload."""
+    grid = {
+        "scenarios": [s.name for s in scenarios],
+        "cores": list(cores),
+        "servers": list(servers),
+        "prefetchers": list(prefetchers),
+        "seed": seed,
+    }
+    return {
+        "grid": grid,
+        "provenance": {
+            "code_rev": code_revision(),
+            "config_hash": spec_hash(
+                {"grid": grid, "scenarios": [s.to_dict() for s in scenarios]}
+            ),
         },
-        "runs": runs,
+        "runs": list(rows),
     }

@@ -1,0 +1,33 @@
+"""The run service: queued submissions, pooled execution, stored runs.
+
+Everything below this package runs one scenario and exits; the service
+is what turns the reproduction into a long-running system.  A
+:class:`RunService` accepts scenario and sweep submissions into a
+persistent on-disk :class:`JobQueue`, a :class:`WorkerPool` fans sweep
+cells out across host processes with streamed per-cell progress, and
+every result lands in a content-addressed :class:`ArtifactStore` under
+a run key derived from (canonical spec hash, seed, code revision) —
+so resubmitting an identical job is a verified cache hit and any two
+historical runs are reproducible and comparable.
+
+See ``repro service submit|status|result|worker|gc``.
+"""
+
+from repro.service.queue import JobQueue, JobRecord
+from repro.service.service import RunService, payload_to_artifact
+from repro.service.spec import ScenarioJob, SweepJob, job_from_dict
+from repro.service.store import ArtifactIntegrityError, ArtifactStore
+from repro.service.worker import WorkerPool
+
+__all__ = [
+    "ArtifactIntegrityError",
+    "ArtifactStore",
+    "JobQueue",
+    "JobRecord",
+    "RunService",
+    "ScenarioJob",
+    "SweepJob",
+    "WorkerPool",
+    "job_from_dict",
+    "payload_to_artifact",
+]

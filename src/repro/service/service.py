@@ -1,0 +1,297 @@
+"""RunService: submissions in, verified content-addressed results out.
+
+The service composes the queue, the worker pool, and the artifact
+store into the long-running system the CLI fronts:
+
+* ``submit`` computes the job's run key — (canonical spec hash, seed,
+  code rev) — and short-circuits when the store already holds a
+  *verified* run for it: the job completes instantly as a cache hit
+  and nothing is re-simulated.  A stored run that fails hash
+  verification is dropped and the job queued normally, so corruption
+  degrades to a re-run, never to a wrong answer.
+* ``process_one``/``run_worker`` claim pending jobs and execute them —
+  scenario jobs inline, sweep jobs fanned across a
+  :class:`~repro.service.worker.WorkerPool` with per-cell progress
+  streamed into the queue's progress file.
+* ``result`` reads a finished job's payload back through the store's
+  verifying path, and :func:`payload_to_artifact` reduces any stored
+  payload to a ``BENCH_*``-shaped artifact so two historical runs are
+  comparable with the existing ``repro perf compare`` machinery.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from pathlib import Path
+from typing import Callable
+
+from repro.perf.artifacts import ARTIFACT_SCHEMA_VERSION
+from repro.provenance import code_revision
+from repro.scenarios.runner import (
+    assemble_sweep_payload,
+    resolve_sweep_scenarios,
+    run_scenario,
+    sweep_cells,
+)
+from repro.scenarios.spec import Scenario
+from repro.service.queue import JobQueue, JobRecord, new_job_id
+from repro.service.spec import ScenarioJob, SweepJob, job_from_dict
+from repro.service.store import ArtifactStore
+from repro.service.worker import WorkerPool
+
+__all__ = ["RunService", "payload_to_artifact"]
+
+Log = Callable[[str], None]
+
+
+class RunService:
+    """The queue + pool + store composition behind ``repro service``."""
+
+    #: Worker-side pool-size override for sweep jobs (see run_worker).
+    _pool_override: int | None = None
+
+    def __init__(self, root: str | Path, code_rev: str | None = None) -> None:
+        self.root = Path(root)
+        self.queue = JobQueue(self.root)
+        self.store = ArtifactStore(self.root)
+        self.code_rev = code_rev or code_revision()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, spec: ScenarioJob | SweepJob) -> JobRecord:
+        """Queue a job — or complete it instantly on a verified cache hit."""
+        run_key = spec.run_key(self.code_rev)
+        record = JobRecord(
+            id=new_job_id(),
+            spec=spec.to_dict(),
+            run_key=run_key,
+            spec_hash=spec.spec_hash(),
+            seed=spec.seed,
+            code_rev=self.code_rev,
+        )
+        if self.store.has(run_key):
+            if self.store.verify(run_key):
+                now = time.time()
+                record.state = "done"
+                record.cache_hit = True
+                record.submitted_at = now
+                record.started_at = now
+                record.finished_at = now
+                return self.queue.submit(record)
+            # The stored run exists but its blob fails verification:
+            # reject it (delete the meta) and honestly re-run.
+            self.store.delete(run_key)
+        return self.queue.submit(record)
+
+    # -- inspection ----------------------------------------------------
+
+    def status(self, job_id: str) -> dict:
+        """The job record plus any streamed progress."""
+        record = self.queue.get(job_id)
+        status = record.to_dict()
+        status["progress"] = self.queue.read_progress(job_id)
+        return status
+
+    def result(self, job_id: str) -> tuple[dict, dict]:
+        """(meta, payload) of a finished job, blob-verified on read."""
+        record = self.queue.get(job_id)
+        if record.state != "done":
+            raise ValueError(
+                f"job {job_id} is {record.state}, not done"
+                + (f": {record.error}" if record.error else "")
+            )
+        return self.store.get(record.run_key)
+
+    # -- execution -----------------------------------------------------
+
+    def process_one(self, log: Log | None = None) -> JobRecord | None:
+        """Claim and execute one pending job; None when the queue is empty."""
+        record = self.queue.claim()
+        if record is None:
+            return None
+        return self._execute(record, log=log)
+
+    def run_worker(
+        self,
+        *,
+        max_jobs: int | None = None,
+        idle_timeout: float | None = None,
+        poll_interval: float = 0.5,
+        pool: int | None = None,
+        log: Log | None = None,
+    ) -> int:
+        """Poll the queue and execute jobs; returns the number processed.
+
+        Exits after *max_jobs* jobs, or once the queue has stayed empty
+        for *idle_timeout* seconds; with neither set it serves forever.
+        *pool* overrides every sweep job's requested pool size (the
+        worker host knows its own core count better than the submitter).
+        """
+        self._pool_override = pool
+        processed = 0
+        idle_since = time.monotonic()
+        try:
+            while True:
+                record = self.process_one(log=log)
+                if record is not None:
+                    processed += 1
+                    idle_since = time.monotonic()
+                    if max_jobs is not None and processed >= max_jobs:
+                        return processed
+                    continue
+                if (
+                    idle_timeout is not None
+                    and time.monotonic() - idle_since >= idle_timeout
+                ):
+                    return processed
+                time.sleep(poll_interval)
+        finally:
+            self._pool_override = None
+
+    def _execute(self, record: JobRecord, log: Log | None = None) -> JobRecord:
+        spec = job_from_dict(record.spec)
+        if log:
+            log(f"[{record.id}] running {spec.kind} (run key {record.run_key[:12]})")
+        try:
+            if isinstance(spec, SweepJob):
+                payload = self._run_sweep(record, spec, log=log)
+            else:
+                payload = self._run_scenario(record, spec)
+        except Exception:
+            failed = self.queue.fail(record, traceback.format_exc())
+            if log:
+                log(f"[{record.id}] FAILED")
+            return failed
+        result = self.store.put(
+            record.run_key,
+            meta={
+                "schema": ARTIFACT_SCHEMA_VERSION,
+                "kind": spec.kind,
+                "spec": record.spec,
+                "spec_hash": record.spec_hash,
+                "seed": record.seed,
+                "code_rev": record.code_rev,
+                "job_id": record.id,
+                "cell_pids": record.cell_pids,
+            },
+            payload=payload,
+        )
+        finished = self.queue.finish(record)
+        if log:
+            dedupe = " (blob deduped)" if result.deduped else ""
+            log(f"[{record.id}] done -> blob {result.blob[:12]}{dedupe}")
+        return finished
+
+    def _run_scenario(self, record: JobRecord, spec: ScenarioJob) -> dict:
+        self.queue.write_progress(record.id, {"total": 1, "done": 0, "cells": {}})
+        scenario = (
+            Scenario.from_dict(spec.scenario)
+            if isinstance(spec.scenario, dict)
+            else spec.scenario
+        )
+        payload = run_scenario(
+            scenario,
+            seed=spec.seed,
+            cores=spec.cores,
+            servers=spec.servers,
+            prefetcher=spec.prefetcher,
+            wss_pages=spec.wss_pages,
+            total_accesses=spec.total_accesses,
+        )
+        self.queue.write_progress(record.id, {"total": 1, "done": 1, "cells": {}})
+        return payload
+
+    def _run_sweep(
+        self, record: JobRecord, spec: SweepJob, log: Log | None = None
+    ) -> dict:
+        resolved = resolve_sweep_scenarios(
+            [
+                Scenario.from_dict(s) if isinstance(s, dict) else s
+                for s in spec.scenarios
+            ],
+            wss_pages=spec.wss_pages,
+            total_accesses=spec.total_accesses,
+        )
+        if any(n < 1 for n in spec.servers):
+            raise ValueError("sweep grid servers must be >= 1 (cluster engine)")
+        cells = sweep_cells(resolved, spec.cores, spec.servers, spec.prefetchers)
+        progress = {"total": len(cells), "done": 0, "cells": {}}
+        self.queue.write_progress(record.id, progress)
+
+        def on_cell(message: dict) -> None:
+            progress["done"] += 1
+            progress["cells"][str(message["index"])] = {
+                "cell": message["cell"],
+                "pid": message["pid"],
+                "state": "error" if "error" in message else "done",
+            }
+            self.queue.write_progress(record.id, progress)
+            if log:
+                log(
+                    f"[{record.id}] cell {progress['done']}/{progress['total']} "
+                    f"{message['cell']} (pid {message['pid']})"
+                )
+
+        pool_size = self._pool_override or spec.pool
+        pool = WorkerPool(processes=pool_size)
+        rows, pids = pool.run_cells(
+            cells,
+            seed=spec.seed,
+            max_total_accesses=spec.max_total_accesses,
+            on_cell=on_cell,
+        )
+        record.cell_pids = pids
+        return assemble_sweep_payload(
+            resolved, spec.cores, spec.servers, spec.prefetchers, spec.seed, rows
+        )
+
+    # -- maintenance ---------------------------------------------------
+
+    def gc(self) -> list[str]:
+        """Reclaim unreferenced payload blobs; returns the removed names."""
+        return self.store.gc()
+
+
+def payload_to_artifact(meta: dict, payload: dict) -> dict:
+    """Reduce a stored run to a ``BENCH_*``-shaped (schema 1) artifact.
+
+    Scenario payloads map tenants to ``apps`` rows (plus ``servers``
+    for cluster runs); sweep payloads key each tenant row by its grid
+    cell.  The result round-trips through
+    :func:`repro.perf.artifacts.load_artifact`, so any two stored runs
+    compare with ``repro perf compare`` exactly like CI baselines.
+    """
+    apps: dict[str, dict] = {}
+    servers: dict[str, dict] = {}
+    if "runs" in payload:  # sweep payload
+        for run in payload["runs"]:
+            prefix = (
+                f"{run['scenario']}/c{run['cores']}s{run['servers']}"
+                f"/{run['prefetcher']}"
+            )
+            for tenant, row in run["tenants"].items():
+                apps[f"{prefix}/{tenant}"] = dict(row)
+        config = dict(payload["grid"])
+    else:  # scenario payload
+        for tenant, row in payload["tenants"].items():
+            apps[tenant] = dict(row)
+        for server_id, row in payload.get("servers", {}).items():
+            servers[server_id] = dict(row)
+        config = dict(payload["config"])
+    artifact: dict = {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "bench": f"run-{meta['run_key'][:12]}",
+        "engine": "service",
+        "config": config,
+        "apps": apps,
+        "provenance": {
+            "run_key": meta["run_key"],
+            "spec_hash": meta["spec_hash"],
+            "seed": meta["seed"],
+            "code_rev": meta["code_rev"],
+        },
+    }
+    if servers:
+        artifact["servers"] = servers
+    return artifact

@@ -1,0 +1,163 @@
+"""Content-addressed artifact store: one meta.json + payload blob per run.
+
+Layout under ``<root>/store``::
+
+    runs/<run_key>/meta.json   what ran: spec + spec hash, seed, code
+                               rev, and the payload blob's address
+    blobs/<payload_sha256>     the payload's canonical JSON bytes
+
+The run key is derived from (canonical spec hash, seed, code rev) —
+see :mod:`repro.provenance` — and the blob name is the sha256 of the
+payload bytes themselves.  Storing is therefore idempotent and
+deduping: an identical payload (simulated numbers are deterministic,
+so identical specs produce byte-identical payloads) lands on the blob
+that already exists, and every read re-hashes the bytes so a flipped
+bit is *rejected*, never silently served.
+
+``gc`` removes only blobs no run references — the file-based results
+discipline (every historical run reproducible, comparable, cheap to
+keep) with an explicit, safe reclamation path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.provenance import canonical_json
+
+__all__ = ["ArtifactIntegrityError", "ArtifactStore", "StoreResult"]
+
+
+class ArtifactIntegrityError(Exception):
+    """A stored blob's bytes no longer match their content address."""
+
+
+class StoreResult:
+    """What ``put`` did: the run key, blob address, and dedupe outcome."""
+
+    __slots__ = ("run_key", "blob", "deduped")
+
+    def __init__(self, run_key: str, blob: str, deduped: bool) -> None:
+        self.run_key = run_key
+        self.blob = blob
+        self.deduped = deduped
+
+
+class ArtifactStore:
+    """Run results under ``<root>/store``, addressed by run key."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root) / "store"
+        self.runs_dir = self.root / "runs"
+        self.blobs_dir = self.root / "blobs"
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self.blobs_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- writing -------------------------------------------------------
+
+    def put(self, run_key: str, meta: dict, payload: dict) -> StoreResult:
+        """Store *payload* under *run_key*; returns the blob address.
+
+        The blob write is atomic (temp + rename) and idempotent: if the
+        content-addressed blob already exists *with the right bytes*
+        they are not rewritten and the result reports a dedupe.  A file
+        squatting at the address with wrong bytes (corruption) is
+        overwritten, not deduped against.
+        """
+        blob_bytes = (canonical_json(payload) + "\n").encode()
+        blob = hashlib.sha256(blob_bytes).hexdigest()
+        blob_path = self.blobs_dir / blob
+        deduped = blob_path.exists() and blob_path.read_bytes() == blob_bytes
+        if not deduped:
+            tmp = blob_path.with_name(f".{blob}.{os.getpid()}.tmp")
+            tmp.write_bytes(blob_bytes)
+            tmp.replace(blob_path)
+        run_dir = self.runs_dir / run_key
+        run_dir.mkdir(exist_ok=True)
+        full_meta = dict(meta)
+        full_meta.update(
+            run_key=run_key,
+            blob=blob,
+            payload_bytes=len(blob_bytes),
+            stored_at=time.time(),
+        )
+        tmp = run_dir / f".meta.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(full_meta, indent=2, sort_keys=True) + "\n")
+        tmp.replace(run_dir / "meta.json")
+        return StoreResult(run_key, blob, deduped)
+
+    # -- reading -------------------------------------------------------
+
+    def has(self, run_key: str) -> bool:
+        return (self.runs_dir / run_key / "meta.json").exists()
+
+    def meta(self, run_key: str) -> dict:
+        path = self.runs_dir / run_key / "meta.json"
+        if not path.exists():
+            raise KeyError(f"no stored run {run_key}")
+        return json.loads(path.read_text())
+
+    def get(self, run_key: str) -> tuple[dict, dict]:
+        """Return (meta, payload), verifying the blob's content address."""
+        meta = self.meta(run_key)
+        blob = meta["blob"]
+        blob_path = self.blobs_dir / blob
+        if not blob_path.exists():
+            raise ArtifactIntegrityError(
+                f"run {run_key}: blob {blob} is missing from the store"
+            )
+        blob_bytes = blob_path.read_bytes()
+        actual = hashlib.sha256(blob_bytes).hexdigest()
+        if actual != blob:
+            raise ArtifactIntegrityError(
+                f"run {run_key}: blob content hash {actual} != address {blob} "
+                f"(corrupted artifact)"
+            )
+        return meta, json.loads(blob_bytes)
+
+    def verify(self, run_key: str) -> bool:
+        """True iff the run exists and its blob passes hash verification."""
+        try:
+            self.get(run_key)
+        except (KeyError, ArtifactIntegrityError, ValueError):
+            return False
+        return True
+
+    def list_runs(self) -> list[str]:
+        return sorted(
+            path.name for path in self.runs_dir.iterdir() if (path / "meta.json").exists()
+        )
+
+    def delete(self, run_key: str) -> None:
+        """Drop a run's meta (its blob becomes garbage unless shared)."""
+        run_dir = self.runs_dir / run_key
+        meta = run_dir / "meta.json"
+        if meta.exists():
+            meta.unlink()
+        if run_dir.exists():
+            run_dir.rmdir()
+
+    # -- reclamation ---------------------------------------------------
+
+    def gc(self) -> list[str]:
+        """Remove blobs referenced by no run meta; returns their names.
+
+        Stale temp files from crashed writers are swept too.  Blobs any
+        ``meta.json`` still points at are never touched.
+        """
+        referenced = set()
+        for run_key in self.list_runs():
+            referenced.add(self.meta(run_key)["blob"])
+        removed = []
+        for path in sorted(self.blobs_dir.iterdir()):
+            if path.name.startswith("."):
+                path.unlink()
+                continue
+            if path.name not in referenced:
+                path.unlink()
+                removed.append(path.name)
+        return removed

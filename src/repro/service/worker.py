@@ -1,0 +1,155 @@
+"""Fan sweep cells out across host cores, streaming per-cell results.
+
+The pool partitions a sweep's cells round-robin across N child
+processes — static assignment, so with ≥N cells every worker provably
+executes work (no scheduler race can starve one) — and the children
+stream ``(index, pid, row)`` messages back over a queue as each cell
+finishes.  The parent reassembles rows in grid order, which keeps a
+pooled sweep byte-identical to an inline ``sweep_scenarios`` call:
+simulated numbers are seed-deterministic, so process boundaries cannot
+change them.
+
+Children are started with the ``spawn`` method: each one is a fresh
+interpreter importing :mod:`repro`, which is slower to start than a
+fork but immune to inherited locks/threads and identical across
+platforms.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+import time
+import traceback
+from typing import Callable, Sequence
+
+from repro.scenarios.runner import run_sweep_cell
+from repro.scenarios.spec import Scenario
+
+__all__ = ["CellError", "WorkerPool"]
+
+
+class CellError(Exception):
+    """One or more sweep cells raised inside a pool worker."""
+
+
+def _cell_worker(
+    cells: list[dict],
+    seed: int,
+    max_total_accesses: int | None,
+    results: mp.Queue,
+) -> None:
+    """Child entry point: run assigned cells, stream one message each."""
+    for cell in cells:
+        message = {"index": cell["index"], "pid": os.getpid(), "cell": cell["label"]}
+        try:
+            row = run_sweep_cell(
+                {
+                    "scenario": Scenario.from_dict(cell["scenario"]),
+                    "cores": cell["cores"],
+                    "servers": cell["servers"],
+                    "prefetcher": cell["prefetcher"],
+                },
+                seed=seed,
+                max_total_accesses=max_total_accesses,
+            )
+            message["row"] = row
+        except Exception:
+            message["error"] = traceback.format_exc()
+        results.put(message)
+
+
+def _cell_label(cell: dict, name: str) -> str:
+    return (
+        f"{name}/c{cell['cores']}s{cell['servers']}/{cell['prefetcher']}"
+    )
+
+
+class WorkerPool:
+    """Execute sweep cells across processes; reassemble in grid order."""
+
+    def __init__(self, processes: int = 2, timeout_s: float = 900.0) -> None:
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self.processes = processes
+        self.timeout_s = timeout_s
+
+    def run_cells(
+        self,
+        cells: Sequence[dict],
+        *,
+        seed: int,
+        max_total_accesses: int | None = None,
+        on_cell: Callable[[dict], None] | None = None,
+    ) -> tuple[list[dict], list[int]]:
+        """Run :func:`~repro.scenarios.runner.sweep_cells` descriptors.
+
+        Returns ``(rows in cell order, sorted distinct worker pids)``.
+        *on_cell* fires in the parent once per finished cell with the
+        streamed message — the progress hook the service persists and
+        the worker loop prints.
+        """
+        if not cells:
+            return [], []
+        serialized = [
+            {
+                "index": cell["index"],
+                "scenario": cell["scenario"].to_dict(),
+                "cores": cell["cores"],
+                "servers": cell["servers"],
+                "prefetcher": cell["prefetcher"],
+                "label": _cell_label(cell, cell["scenario"].name),
+            }
+            for cell in cells
+        ]
+        ctx = mp.get_context("spawn")
+        results: mp.Queue = ctx.Queue()
+        n_workers = min(self.processes, len(serialized))
+        workers = [
+            ctx.Process(
+                target=_cell_worker,
+                args=(serialized[i::n_workers], seed, max_total_accesses, results),
+                daemon=True,
+            )
+            for i in range(n_workers)
+        ]
+        for worker in workers:
+            worker.start()
+        rows: dict[int, dict] = {}
+        errors: list[str] = []
+        pids: set[int] = set()
+        deadline = time.monotonic() + self.timeout_s
+        try:
+            while len(rows) + len(errors) < len(serialized):
+                try:
+                    message = results.get(timeout=1.0)
+                except queue_module.Empty:
+                    dead = [w for w in workers if w.exitcode not in (None, 0)]
+                    if dead:
+                        raise CellError(
+                            f"{len(dead)} pool worker(s) died with exit codes "
+                            f"{[w.exitcode for w in dead]} before reporting all cells"
+                        )
+                    if time.monotonic() > deadline:
+                        raise CellError(
+                            f"pool timed out after {self.timeout_s:.0f}s with "
+                            f"{len(serialized) - len(rows) - len(errors)} "
+                            f"cell(s) outstanding"
+                        )
+                    continue
+                pids.add(message["pid"])
+                if on_cell is not None:
+                    on_cell(message)
+                if "error" in message:
+                    errors.append(f"cell {message['cell']}:\n{message['error']}")
+                else:
+                    rows[message["index"]] = message["row"]
+        finally:
+            for worker in workers:
+                worker.join(timeout=5.0)
+                if worker.is_alive():  # pragma: no cover - crash cleanup
+                    worker.terminate()
+        if errors:
+            raise CellError("\n".join(errors))
+        return [rows[index] for index in sorted(rows)], sorted(pids)

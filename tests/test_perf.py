@@ -160,7 +160,44 @@ class TestPerfCompare:
     def test_compare_rejects_missing_file(self, tmp_path, capsys):
         old = write_artifact(make_artifact(), tmp_path)
         assert perf_main(["compare", str(old), str(tmp_path / "nope.json")]) == 1
-        assert "error:" in capsys.readouterr().out
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_rejects_missing_apps_section(self, tmp_path, capsys):
+        # A structurally malformed artifact must exit nonzero, not
+        # print a partial (empty) table — CI distinguishes schema
+        # drift (this) from a perf regression (the gate step).
+        old = write_artifact(make_artifact(), tmp_path / "old")
+        broken = make_artifact()
+        del broken["apps"]
+        new = write_artifact(broken, tmp_path / "new")
+        assert perf_main(["compare", str(old), str(new)]) == 2
+        captured = capsys.readouterr()
+        assert "no 'apps' section" in captured.err
+        assert "[apps]" not in captured.out
+
+    def test_compare_rejects_empty_apps_section(self, tmp_path, capsys):
+        old = write_artifact(make_artifact(), tmp_path / "old")
+        broken = make_artifact()
+        broken["apps"] = {}
+        new = write_artifact(broken, tmp_path / "new")
+        assert perf_main(["compare", str(old), str(new)]) == 2
+        assert "no 'apps' section" in capsys.readouterr().err
+
+    def test_compare_rejects_mangled_rows(self, tmp_path, capsys):
+        broken = make_artifact()
+        broken["apps"]["powergraph"] = "not-a-row"
+        old = write_artifact(broken, tmp_path / "old")
+        new = write_artifact(make_artifact(), tmp_path / "new")
+        assert perf_main(["compare", str(old), str(new)]) == 2
+        assert "not a metrics row" in capsys.readouterr().err
+
+    def test_compare_rejects_non_mapping_servers(self, tmp_path, capsys):
+        broken = make_artifact()
+        broken["servers"] = ["row"]
+        old = write_artifact(make_artifact(), tmp_path / "old")
+        new = write_artifact(broken, tmp_path / "new")
+        assert perf_main(["compare", str(old), str(new)]) == 2
+        assert "'servers' section is not a mapping" in capsys.readouterr().err
 
 
 class TestFig13Profile:

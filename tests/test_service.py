@@ -1,0 +1,447 @@
+"""Run service: queue, worker pool, content-addressed store, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.perf.artifacts import load_artifact
+from repro.provenance import canonical_json, code_revision, run_key, spec_hash
+from repro.scenarios import run_scenario, sweep_scenarios
+from repro.service import (
+    ArtifactIntegrityError,
+    ArtifactStore,
+    JobQueue,
+    JobRecord,
+    RunService,
+    ScenarioJob,
+    SweepJob,
+    job_from_dict,
+    payload_to_artifact,
+)
+
+SMALL = dict(wss_pages=64, total_accesses=400)
+
+
+def small_job(**overrides) -> ScenarioJob:
+    spec = dict(scenario="web-tier-zipf", cores=2, **SMALL)
+    spec.update(overrides)
+    return ScenarioJob(**spec)
+
+
+def small_sweep(**overrides) -> SweepJob:
+    spec = dict(
+        scenarios=("web-tier-zipf",),
+        cores=(1,),
+        servers=(2,),
+        prefetchers=("leap", "readahead"),
+        pool=2,
+        **SMALL,
+    )
+    spec.update(overrides)
+    return SweepJob(**spec)
+
+
+class TestProvenance:
+    def test_spec_hash_is_order_insensitive(self):
+        assert spec_hash({"a": 1, "b": 2}) == spec_hash({"b": 2, "a": 1})
+
+    def test_run_key_depends_on_every_component(self):
+        base = run_key("abc", 42, "rev1")
+        assert run_key("abd", 42, "rev1") != base
+        assert run_key("abc", 43, "rev1") != base
+        assert run_key("abc", 42, "rev2") != base
+
+    def test_code_revision_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_REV", "pinned-rev")
+        assert code_revision() == "pinned-rev"
+
+    def test_run_scenario_payload_carries_provenance(self):
+        payload = run_scenario("web-tier-zipf", cores=2, **SMALL)
+        assert payload["provenance"]["code_rev"] == code_revision()
+        assert len(payload["provenance"]["config_hash"]) == 64
+
+    def test_sweep_payload_carries_provenance(self):
+        payload = sweep_scenarios(
+            ["web-tier-zipf"], cores=[1], servers=[2], prefetchers=["leap"], **SMALL
+        )
+        assert payload["provenance"]["code_rev"] == code_revision()
+
+
+class TestJobSpecs:
+    def test_scenario_job_round_trips(self):
+        job = small_job(prefetcher="leap", servers=2, seed=7)
+        assert job_from_dict(job.to_dict()) == job
+
+    def test_sweep_job_round_trips(self):
+        job = small_sweep(seed=9)
+        assert job_from_dict(job.to_dict()) == job
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            job_from_dict({"kind": "mystery"})
+
+    def test_pool_size_excluded_from_sweep_hash(self):
+        # The pool shapes wall clock, never results; a --pool 4 rerun
+        # must hit the cache a --pool 2 run filled.
+        assert small_sweep(pool=1).spec_hash() == small_sweep(pool=4).spec_hash()
+        assert small_sweep(pool=1).run_key("rev") == small_sweep(pool=4).run_key("rev")
+
+    def test_different_specs_hash_differently(self):
+        assert small_job().spec_hash() != small_job(cores=4).spec_hash()
+        assert small_job(seed=1).run_key("rev") != small_job(seed=2).run_key("rev")
+
+    def test_scenario_dict_spec_accepted(self):
+        from repro.scenarios import get_scenario
+
+        scenario = get_scenario("web-tier-zipf", **SMALL)
+        job = ScenarioJob(scenario=scenario, cores=2)
+        assert isinstance(job.scenario, dict)
+        assert job_from_dict(job.to_dict()) == job
+
+    def test_sweep_needs_scenarios_and_axes(self):
+        with pytest.raises(ValueError):
+            SweepJob(scenarios=())
+        with pytest.raises(ValueError):
+            small_sweep(prefetchers=())
+        with pytest.raises(ValueError):
+            small_sweep(pool=0)
+
+
+def make_record(queue_dir, job_id="0000000000001-aaaaaaaa", **overrides) -> JobRecord:
+    fields = dict(
+        id=job_id,
+        spec=small_job().to_dict(),
+        run_key="k" * 64,
+        spec_hash="s" * 64,
+        seed=42,
+        code_rev="rev",
+    )
+    fields.update(overrides)
+    return JobRecord(**fields)
+
+
+class TestJobQueue:
+    def test_submit_claim_finish(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(make_record(tmp_path))
+        assert queue.pending_count() == 1
+        claimed = queue.claim()
+        assert claimed.state == "running"
+        assert claimed.worker_pid == os.getpid()
+        assert queue.pending_count() == 0
+        done = queue.finish(claimed)
+        assert done.state == "done"
+        assert queue.get(done.id).state == "done"
+
+    def test_claim_order_is_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(make_record(tmp_path, job_id="0000000000002-bbbbbbbb"))
+        queue.submit(make_record(tmp_path, job_id="0000000000001-aaaaaaaa"))
+        assert queue.claim().id == "0000000000001-aaaaaaaa"
+        assert queue.claim().id == "0000000000002-bbbbbbbb"
+        assert queue.claim() is None
+
+    def test_claim_is_exclusive_across_queue_handles(self, tmp_path):
+        first, second = JobQueue(tmp_path), JobQueue(tmp_path)
+        first.submit(make_record(tmp_path))
+        assert first.claim() is not None
+        assert second.claim() is None
+
+    def test_fail_records_error(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(make_record(tmp_path))
+        failed = queue.fail(queue.claim(), "boom")
+        assert failed.state == "failed"
+        assert queue.get(failed.id).error == "boom"
+
+    def test_get_unknown_job(self, tmp_path):
+        with pytest.raises(KeyError):
+            JobQueue(tmp_path).get("nope")
+
+    def test_progress_round_trip(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        assert queue.read_progress("j") is None
+        queue.write_progress("j", {"total": 4, "done": 2})
+        assert queue.read_progress("j") == {"total": 4, "done": 2}
+
+
+class TestArtifactStore:
+    def test_put_get_round_trip_verifies(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        result = store.put("run1", {"seed": 42}, {"value": 1})
+        assert not result.deduped
+        meta, payload = store.get("run1")
+        assert payload == {"value": 1}
+        assert meta["blob"] == result.blob
+        assert meta["seed"] == 42
+        assert store.verify("run1")
+
+    def test_identical_payloads_dedupe_to_one_blob(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        first = store.put("run1", {}, {"value": 1})
+        second = store.put("run2", {}, {"value": 1})
+        assert second.deduped
+        assert first.blob == second.blob
+        assert len(list(store.blobs_dir.iterdir())) == 1
+
+    def test_corrupted_blob_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        result = store.put("run1", {}, {"value": 1})
+        blob_path = store.blobs_dir / result.blob
+        blob_path.write_text(blob_path.read_text().replace("1", "2"))
+        with pytest.raises(ArtifactIntegrityError, match="corrupted"):
+            store.get("run1")
+        assert not store.verify("run1")
+
+    def test_missing_blob_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        result = store.put("run1", {}, {"value": 1})
+        (store.blobs_dir / result.blob).unlink()
+        with pytest.raises(ArtifactIntegrityError, match="missing"):
+            store.get("run1")
+
+    def test_gc_removes_only_unreferenced_blobs(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        kept = store.put("run1", {}, {"value": 1})
+        orphaned = store.put("run2", {}, {"value": 2})
+        store.delete("run2")
+        (store.blobs_dir / ".stale.123.tmp").write_text("junk")
+        removed = store.gc()
+        assert removed == [orphaned.blob]
+        assert (store.blobs_dir / kept.blob).exists()
+        assert not (store.blobs_dir / ".stale.123.tmp").exists()
+        assert store.verify("run1")
+
+    def test_gc_on_empty_store(self, tmp_path):
+        assert ArtifactStore(tmp_path).gc() == []
+
+
+class TestRunService:
+    def test_scenario_job_end_to_end(self, tmp_path):
+        service = RunService(tmp_path, code_rev="rev-a")
+        record = service.submit(small_job())
+        assert record.state == "pending"
+        done = service.process_one()
+        assert done.state == "done"
+        meta, payload = service.result(record.id)
+        assert meta["spec_hash"] == record.spec_hash
+        assert meta["seed"] == 42
+        assert meta["code_rev"] == "rev-a"
+        assert payload["scenario"] == "web-tier-zipf"
+        # The stored payload is exactly what an inline run produces.
+        inline = run_scenario("web-tier-zipf", cores=2, **SMALL)
+        assert canonical_json(payload) == canonical_json(inline)
+        progress = service.status(record.id)["progress"]
+        assert progress == {"total": 1, "done": 1, "cells": {}}
+
+    def test_identical_resubmission_is_verified_cache_hit(self, tmp_path):
+        service = RunService(tmp_path, code_rev="rev-a")
+        first = service.submit(small_job())
+        service.process_one()
+        second = service.submit(small_job())
+        assert second.cache_hit
+        assert second.state == "done"
+        assert second.run_key == first.run_key
+        assert service.queue.pending_count() == 0  # nothing re-queued
+        meta, payload = service.result(second.id)
+        _, first_payload = service.result(first.id)
+        assert payload == first_payload
+
+    def test_identical_specs_store_byte_identical_payloads(self, tmp_path):
+        blobs = []
+        for root in (tmp_path / "a", tmp_path / "b"):
+            service = RunService(root, code_rev="rev-a")
+            record = service.submit(small_job())
+            service.process_one()
+            meta = service.store.meta(record.run_key)
+            blobs.append((service.store.blobs_dir / meta["blob"]).read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_corrupted_stored_run_is_rerun_not_served(self, tmp_path):
+        service = RunService(tmp_path, code_rev="rev-a")
+        record = service.submit(small_job())
+        service.process_one()
+        meta = service.store.meta(record.run_key)
+        blob_path = service.store.blobs_dir / meta["blob"]
+        blob_path.write_bytes(blob_path.read_bytes()[:-2] + b"X\n")
+        with pytest.raises(ArtifactIntegrityError):
+            service.result(record.id)
+        resubmitted = service.submit(small_job())
+        assert not resubmitted.cache_hit
+        assert resubmitted.state == "pending"
+        service.process_one()
+        assert service.result(resubmitted.id)[1]["scenario"] == "web-tier-zipf"
+
+    def test_different_code_rev_misses_cache(self, tmp_path):
+        service_a = RunService(tmp_path, code_rev="rev-a")
+        service_a.submit(small_job())
+        service_a.process_one()
+        record = RunService(tmp_path, code_rev="rev-b").submit(small_job())
+        assert not record.cache_hit
+
+    def test_failed_job_records_traceback(self, tmp_path):
+        service = RunService(tmp_path, code_rev="rev-a")
+        record = service.submit(ScenarioJob(scenario="no-such-scenario"))
+        failed = service.process_one()
+        assert failed.state == "failed"
+        assert "no-such-scenario" in failed.error
+        with pytest.raises(ValueError, match="failed"):
+            service.result(record.id)
+
+    def test_process_one_on_empty_queue(self, tmp_path):
+        assert RunService(tmp_path).process_one() is None
+
+    def test_run_worker_exits_on_idle_timeout(self, tmp_path):
+        service = RunService(tmp_path, code_rev="rev-a")
+        service.submit(small_job())
+        processed = service.run_worker(idle_timeout=0.1, poll_interval=0.05)
+        assert processed == 1
+        assert service.queue.pending_count() == 0
+
+
+class TestSweepFanOut:
+    @pytest.fixture(scope="class")
+    def swept(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("service")
+        service = RunService(root, code_rev="rev-a")
+        record = service.submit(small_sweep())
+        done = service.process_one()
+        return service, record, done
+
+    def test_sweep_job_completes(self, swept):
+        _, _, done = swept
+        assert done.state == "done"
+
+    def test_pooled_sweep_matches_inline_sweep_exactly(self, swept):
+        service, record, _ = swept
+        _, payload = service.result(record.id)
+        inline = sweep_scenarios(
+            ["web-tier-zipf"],
+            cores=[1],
+            servers=[2],
+            prefetchers=["leap", "readahead"],
+            **SMALL,
+        )
+        assert canonical_json(payload) == canonical_json(inline)
+
+    def test_cells_ran_in_distinct_child_processes(self, swept):
+        _, _, done = swept
+        # Round-robin assignment: 2 cells over a pool of 2 means both
+        # children provably executed work, and neither is the parent.
+        assert len(done.cell_pids) == 2
+        assert os.getpid() not in done.cell_pids
+
+    def test_progress_streamed_per_cell(self, swept):
+        service, record, _ = swept
+        progress = service.status(record.id)["progress"]
+        assert progress["total"] == 2
+        assert progress["done"] == 2
+        assert {cell["state"] for cell in progress["cells"].values()} == {"done"}
+        assert {cell["pid"] for cell in progress["cells"].values()} == set(
+            service.queue.get(record.id).cell_pids
+        )
+
+    def test_payload_to_artifact_is_comparable(self, swept, tmp_path):
+        service, record, _ = swept
+        meta, payload = service.result(record.id)
+        artifact = payload_to_artifact(meta, payload)
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(artifact))
+        loaded = load_artifact(path)  # schema-checked like any baseline
+        assert set(loaded["apps"]) == {
+            f"web-tier-zipf/c1s2/{prefetcher}/web-{index}"
+            for prefetcher in ("leap", "readahead")
+            for index in range(4)
+        }
+        for row in loaded["apps"].values():
+            assert "p95_us" in row and "completion_s" in row
+
+
+class TestServiceCLI:
+    def test_submit_worker_status_result_gc(self, tmp_path, capsys):
+        root = str(tmp_path)
+        base = [
+            "service",
+            "submit",
+            "web-tier-zipf",
+            "--root",
+            root,
+            "--cores",
+            "2",
+            "--wss-pages",
+            "64",
+            "--accesses",
+            "400",
+        ]
+        assert main(base + ["--json"]) == 0
+        job_id = json.loads(capsys.readouterr().out)["id"]
+        assert main(["service", "worker", "--root", root, "--max-jobs", "1"]) == 0
+        assert "done" in capsys.readouterr().out
+        assert main(["service", "status", job_id, "--root", root]) == 0
+        assert "state=done" in capsys.readouterr().out
+        assert main(["service", "result", job_id, "--root", root, "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["payload"]["scenario"] == "web-tier-zipf"
+        # Identical resubmission: cache hit, served without a worker.
+        assert main(base + ["--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache_hit"] is True
+        assert second["state"] == "done"
+        assert main(["service", "gc", "--json", "--root", root]) == 0
+        assert json.loads(capsys.readouterr().out) == {"removed": []}
+
+    def test_result_artifact_feeds_perf_compare(self, tmp_path, capsys):
+        from repro.perf.__main__ import main as perf_main
+
+        root = str(tmp_path / "svc")
+        argv = [
+            "service",
+            "submit",
+            "web-tier-zipf",
+            "--root",
+            root,
+            "--cores",
+            "2",
+            "--wss-pages",
+            "64",
+            "--accesses",
+            "400",
+            "--json",
+        ]
+        assert main(argv) == 0
+        job_id = json.loads(capsys.readouterr().out)["id"]
+        assert main(["service", "worker", "--root", root, "--max-jobs", "1"]) == 0
+        capsys.readouterr()
+        artifact = str(tmp_path / "run.json")
+        argv = ["service", "result", job_id, "--root", root, "--artifact", artifact]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert perf_main(["compare", artifact, artifact]) == 0
+        assert "unchanged" in capsys.readouterr().out
+
+    def test_submit_rejects_bad_arguments(self, tmp_path, capsys):
+        root = str(tmp_path)
+        # Two scenarios without --sweep.
+        assert main(["service", "submit", "a", "b", "--root", root]) == 2
+        # Grid axes without --sweep.
+        argv = ["service", "submit", "web-tier-zipf", "--cores", "1,2", "--root", root]
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_status_unknown_job(self, tmp_path, capsys):
+        assert main(["service", "status", "nope", "--root", str(tmp_path)]) == 2
+        assert "no such job" in capsys.readouterr().err
+
+    def test_submit_scenario_file(self, tmp_path, capsys):
+        from repro.scenarios import get_scenario
+
+        scenario = get_scenario("web-tier-zipf", **SMALL)
+        spec_file = tmp_path / "custom.json"
+        spec_file.write_text(json.dumps(scenario.to_dict()))
+        root = str(tmp_path / "svc")
+        argv = ["service", "submit", str(spec_file), "--root", root, "--cores", "2", "--json"]
+        assert main(argv) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec"]["scenario"]["name"] == "web-tier-zipf"
