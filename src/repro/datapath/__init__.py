@@ -1,5 +1,17 @@
 """Data paths: the legacy block layer, Leap's lean path, and the
-staged fault pipeline they both plug into."""
+staged fault pipeline they both plug into.
+
+:class:`FaultPipeline` is the single fault engine behind every run
+path — ``simulate``, ``run_concurrent``, ``run_cluster`` — reached
+through the thin :meth:`repro.mem.vmm.VirtualMemoryManager.access`
+adapter or the batched entry points (``VMM.access_batch``,
+``ProcessDriver.step_burst``), which hoist the completion drain and
+reclaim check to the batch boundary.  It is also the *oracle* for the
+vectorized burst kernel (:mod:`repro.kernel`): resident runs may be
+applied as array batches precisely because every fault still drops
+into this pipeline, keeping the two engines bit-identical (see
+``docs/kernel.md``).
+"""
 
 from repro.datapath.backends import DiskBackend, IOBackend, RemoteBackend
 from repro.datapath.base import DataPath, ReadTiming

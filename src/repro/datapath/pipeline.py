@@ -220,6 +220,11 @@ class FaultPipeline:
         vmm = self.vmm
         vmm.metrics.record_miss()
         vmm.cache.stats.misses += 1
+        # Retire due completions before issuing, so the in-flight depth
+        # noted below counts reads genuinely on the wire — not entries
+        # whose drain just hadn't run yet, which would make the peak
+        # depend on how the caller batched its bursts.
+        self.cq.drain(now)
         allocation_wait = vmm.reclaimer.allocation_wait_ns(now)
         timing = vmm.data_path.demand_read(key, now, process.core)
         latency = CACHE_LOOKUP_NS + allocation_wait + timing.total_ns

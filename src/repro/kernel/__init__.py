@@ -1,0 +1,30 @@
+"""Vectorized burst fault kernel.
+
+The object engine (:class:`~repro.datapath.pipeline.FaultPipeline`
+driven one access at a time) walks every page touch as a Python
+object.  This package is the numpy-backed alternative behind
+``MachineConfig(engine="vectorized")``: workloads feed the simulator
+*columnar* access blocks (:mod:`repro.kernel.columnar`), whole resident
+runs are classified with one array gather and applied as batched
+page-table/LRU updates (:mod:`repro.kernel.vectorized`), and only the
+accesses that actually fault drop back to the staged pipeline — which
+stays in the tree as the bit-exact oracle the equivalence tests compare
+against (see ``docs/kernel.md``).
+
+numpy is required only when the vectorized engine is selected; the
+object engine never imports it.
+"""
+
+from repro.kernel.columnar import (
+    DEFAULT_BLOCK_SIZE,
+    AccessBlock,
+    ColumnarCursor,
+    pack_blocks,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "AccessBlock",
+    "ColumnarCursor",
+    "pack_blocks",
+]

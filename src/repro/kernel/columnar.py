@@ -1,0 +1,188 @@
+"""Columnar access streams: the data layout of the vectorized engine.
+
+A trace is represented as a sequence of :class:`AccessBlock` values —
+struct-of-arrays blocks holding ``vpn`` (int64), ``is_write`` (bool)
+and ``think_ns`` (int64) columns — instead of one
+:class:`~repro.sim.process.PageAccess` object per touch.  Workloads
+produce blocks via :meth:`~repro.workloads.base.Workload.columnar_blocks`
+(natively vectorized where the pattern allows, packed from the object
+stream otherwise — both yield the byte-identical access sequence), and
+:class:`ColumnarCursor` is the consuming side: a read head over the
+block stream that the vectorized burst kernel slices whole resident
+runs from and that can still pop one scalar access at a time for the
+fault path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.sim.process import PageAccess
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "AccessBlock",
+    "ColumnarCursor",
+    "pack_blocks",
+]
+
+#: Default accesses per block.  Big enough that per-block Python
+#: overhead amortizes to noise, small enough that a block of three
+#: int64/bool columns stays comfortably inside L2.
+DEFAULT_BLOCK_SIZE = 8192
+
+
+@dataclass(frozen=True, slots=True)
+class AccessBlock:
+    """A struct-of-arrays slab of consecutive page accesses.
+
+    Columns are parallel numpy arrays of one common length: ``vpn``
+    (int64 virtual page numbers), ``is_write`` (bool), and ``think_ns``
+    (int64 compute time preceding each touch).  Blocks are immutable
+    value objects; the kernel only ever reads slices of them.
+    """
+
+    vpn: np.ndarray
+    is_write: np.ndarray
+    think_ns: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.vpn) == len(self.is_write) == len(self.think_ns)):
+            raise ValueError(
+                "AccessBlock columns must share one length, got "
+                f"{len(self.vpn)}/{len(self.is_write)}/{len(self.think_ns)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.vpn)
+
+    @classmethod
+    def from_accesses(cls, accesses: Iterable[PageAccess]) -> "AccessBlock":
+        """Pack an iterable of :class:`PageAccess` into one block."""
+        items = list(accesses)
+        return cls(
+            vpn=np.array([a.vpn for a in items], dtype=np.int64),
+            is_write=np.array([a.is_write for a in items], dtype=np.bool_),
+            think_ns=np.array([a.think_ns for a in items], dtype=np.int64),
+        )
+
+    def accesses(self) -> Iterator[PageAccess]:
+        """Unpack back into per-access objects (tests, interop)."""
+        for vpn, is_write, think_ns in zip(
+            self.vpn.tolist(), self.is_write.tolist(), self.think_ns.tolist()
+        ):
+            yield PageAccess(vpn=vpn, is_write=is_write, think_ns=think_ns)
+
+
+def pack_blocks(
+    accesses: Iterable[PageAccess], block_size: int = DEFAULT_BLOCK_SIZE
+) -> Iterator[AccessBlock]:
+    """Pack an object access stream into columnar blocks.
+
+    The generic (always-correct) producer behind
+    :meth:`Workload.columnar_blocks`: the emitted block sequence
+    concatenates to exactly the input stream, so eager packing is
+    bit-exact for any workload — trace generation depends only on the
+    workload's own RNG draw count, never on simulator state.
+    """
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    vpns: list[int] = []
+    writes: list[bool] = []
+    thinks: list[int] = []
+    for access in accesses:
+        vpns.append(access.vpn)
+        writes.append(access.is_write)
+        thinks.append(access.think_ns)
+        if len(vpns) >= block_size:
+            yield AccessBlock(
+                vpn=np.array(vpns, dtype=np.int64),
+                is_write=np.array(writes, dtype=np.bool_),
+                think_ns=np.array(thinks, dtype=np.int64),
+            )
+            vpns, writes, thinks = [], [], []
+    if vpns:
+        yield AccessBlock(
+            vpn=np.array(vpns, dtype=np.int64),
+            is_write=np.array(writes, dtype=np.bool_),
+            think_ns=np.array(thinks, dtype=np.int64),
+        )
+
+
+class ColumnarCursor:
+    """A consuming read head over a stream of :class:`AccessBlock`.
+
+    One cursor backs one :class:`~repro.sim.process.ProcessDriver` in
+    the vectorized engine.  The kernel reads the *tail* of the current
+    block (``tail()``) to classify a run in one gather, then commits
+    consumption with :meth:`advance`; :meth:`pop` serves the scalar
+    fault path one access at a time.  Exhaustion (``ensure() ==
+    False``) is the columnar equivalent of the object trace iterator
+    returning ``None``.
+    """
+
+    __slots__ = ("_blocks", "_vpn", "_write", "_think", "_offset", "_exhausted")
+
+    def __init__(self, blocks: Iterable[AccessBlock]) -> None:
+        self._blocks = iter(blocks)
+        self._vpn: np.ndarray | None = None
+        self._write: np.ndarray | None = None
+        self._think: np.ndarray | None = None
+        self._offset = 0
+        self._exhausted = False
+
+    def ensure(self) -> bool:
+        """Make at least one unconsumed access available.
+
+        Returns False exactly once the underlying block stream is
+        fully consumed (empty blocks are skipped transparently).
+        """
+        if self._exhausted:
+            return False
+        vpn = self._vpn
+        while vpn is None or self._offset >= len(vpn):
+            block = next(self._blocks, None)
+            if block is None:
+                self._exhausted = True
+                self._vpn = self._write = self._think = None
+                return False
+            if len(block) == 0:
+                continue
+            self._vpn = vpn = block.vpn
+            self._write = block.is_write
+            self._think = block.think_ns
+            self._offset = 0
+        return True
+
+    def tail(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Views of the unconsumed remainder of the current block.
+
+        Call :meth:`ensure` first; the views are (vpn, is_write,
+        think_ns) and stay valid until the next :meth:`ensure` that
+        crosses a block boundary.
+        """
+        offset = self._offset
+        return (
+            self._vpn[offset:],
+            self._write[offset:],
+            self._think[offset:],
+        )
+
+    def advance(self, count: int) -> None:
+        """Commit consumption of the first *count* accesses of the tail."""
+        self._offset += count
+
+    def pop(self) -> PageAccess | None:
+        """Consume and return one access as an object (None when done)."""
+        if not self.ensure():
+            return None
+        offset = self._offset
+        self._offset = offset + 1
+        return PageAccess(
+            vpn=int(self._vpn[offset]),
+            is_write=bool(self._write[offset]),
+            think_ns=int(self._think[offset]),
+        )

@@ -143,6 +143,30 @@ class ActiveInactiveLRU(Generic[K, V]):
             return True
         return self._active.touch(key)
 
+    def reference_bulk(self, keys_last_use_order: list[K]) -> None:
+        """Apply a run of :meth:`reference` calls collapsed to one per key.
+
+        *keys_last_use_order* must hold each distinct key once, ordered
+        by its **last** occurrence in the original access run (earliest
+        last-use first).  With no interleaved add/remove/scan, a run of
+        per-access references is exactly equivalent to this collapsed
+        form: every reference moves the key to the MRU position, so only
+        the final (last-occurrence) move per key survives, and relative
+        MRU order among keys is the order of their last uses.  This is
+        the bulk path the vectorized burst kernel uses for resident
+        runs, so the :meth:`reference` steps are inlined onto the
+        underlying dicts (a key is never on both lists, so promotion is
+        a plain move and re-reference a pop/re-insert).
+        """
+        inactive = self._inactive._entries
+        active = self._active._entries
+        for key in keys_last_use_order:
+            value = inactive.pop(key, _MISSING)
+            if value is not _MISSING:
+                active[key] = value
+            elif key in active:
+                active[key] = active.pop(key)
+
     def remove(self, key: K) -> Optional[V]:
         value = self._inactive.pop(key, _MISSING)  # type: ignore[arg-type]
         if value is not _MISSING:

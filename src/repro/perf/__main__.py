@@ -30,10 +30,12 @@ from repro.perf.profile import (
     cluster_profile,
     control_profile,
     fig13_profile,
+    fig13_scale_profile,
     scenarios_profile,
 )
 
 PROFILES = ("fig13", "cluster", "scenarios", "control")
+TIERS = ("smoke", "scale")
 
 
 def add_perf_arguments(parser: argparse.ArgumentParser) -> None:
@@ -55,6 +57,30 @@ def add_perf_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=0.20,
         help="allowed relative regression per gated metric (default 0.20)",
+    )
+    parser.add_argument(
+        "--tier",
+        choices=TIERS,
+        default="smoke",
+        help="fig13 only: 'smoke' is the CI-sized run, 'scale' runs the "
+        "pinned FIG13_SCALE_TIER mix (ignores --wss-pages/--accesses; "
+        "see PERF_BUDGETS.md)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["object", "vectorized"],
+        default=None,
+        help="burst engine for the fig13 profiles (default: the "
+        "profile's own default — object for smoke, vectorized for "
+        "scale); simulated metrics are identical either way",
+    )
+    parser.add_argument(
+        "--max-wall-clock",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail (exit 1) if the run's wall_clock_s exceeds this "
+        "budget; opt-in because wall clock is host-dependent",
     )
     parser.add_argument("--wss-pages", type=int, default=2048)
     parser.add_argument("--accesses", type=int, default=8000)
@@ -181,6 +207,17 @@ def run_compare(args: argparse.Namespace) -> int:
 
 
 def _run_profile(args: argparse.Namespace) -> dict:
+    if args.profile != "fig13":
+        if getattr(args, "engine", None) is not None:
+            raise SystemExit(
+                f"error: --engine applies to the fig13 profiles only, "
+                f"not --profile {args.profile}"
+            )
+        if getattr(args, "tier", "smoke") != "smoke":
+            raise SystemExit(
+                f"error: --tier scale applies to --profile fig13 only, "
+                f"not --profile {args.profile}"
+            )
     if args.profile == "control":
         # One scenario, but 1 governed + N static arms: quarter the
         # shared scale so the A/B stays smoke-sized.
@@ -212,11 +249,21 @@ def _run_profile(args: argparse.Namespace) -> dict:
             servers=args.servers,
         )
         return artifact
+    if getattr(args, "tier", "smoke") == "scale":
+        # The scale tier pins its own working-set/access mix (see
+        # FIG13_SCALE_TIER); --wss-pages/--accesses do not apply.
+        artifact, _ = fig13_scale_profile(
+            seed=args.seed,
+            cores=args.cores,
+            engine=args.engine or "vectorized",
+        )
+        return artifact
     artifact, _ = fig13_profile(
         wss_pages=args.wss_pages,
         accesses=args.accesses,
         seed=args.seed,
         cores=args.cores,
+        engine=args.engine or "object",
     )
     return artifact
 
@@ -248,6 +295,19 @@ def run(args: argparse.Namespace) -> int:
             f"({control['best_static_hit_rate']:.1%}); "
             f"{len(control['decisions'])} policy swap(s)"
         )
+    max_wall = getattr(args, "max_wall_clock", None)
+    if max_wall is not None:
+        wall = artifact.get("wall_clock_s")
+        if wall is None:
+            print("error: artifact records no wall_clock_s to budget")
+            return 1
+        if wall > max_wall:
+            print(
+                f"WALL-CLOCK BUDGET FAILED: {wall:.3f}s > {max_wall:.3f}s "
+                "(budget is opt-in; see PERF_BUDGETS.md before raising it)"
+            )
+            return 1
+        print(f"wall clock {wall:.3f}s within budget {max_wall:.3f}s")
     if args.baseline is None:
         return 0
     try:

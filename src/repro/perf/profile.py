@@ -26,6 +26,7 @@ __all__ = [
     "profile_concurrent",
     "profile_cluster",
     "fig13_profile",
+    "fig13_scale_profile",
     "cluster_profile",
     "scenarios_profile",
     "control_profile",
@@ -146,11 +147,15 @@ def fig13_profile(
     seed: int = 42,
     cores: int = 4,
     memory_fraction: float = 0.5,
+    engine: str = "object",
 ) -> tuple[dict, RunResult]:
     """Run the Figure 13 mix on the Leap stack; return (artifact, result).
 
     The defaults are the CI smoke scale — a few seconds of wall clock —
-    not the full benchmark scale used by ``benchmarks/``.
+    not the full benchmark scale used by ``benchmarks/``.  *engine*
+    selects the burst engine (``object``/``vectorized``); every
+    simulated metric in the artifact is byte-identical either way (see
+    docs/kernel.md), only ``wall_clock_s`` differs.
     """
     # Imported here so `repro.perf` stays importable without dragging
     # the whole workload/bench stack in at module load.
@@ -159,7 +164,7 @@ def fig13_profile(
     from repro.sim.machine import Machine, leap_config
 
     scale = BenchScale(wss_pages=wss_pages, accesses=accesses, seed=seed)
-    machine = Machine(leap_config(seed=seed))
+    machine = Machine(leap_config(seed=seed, engine=engine))
     pids = {"powergraph": 1, "numpy": 2, "voltdb": 3, "memcached": 4}
     workloads = {
         pids[name]: workload
@@ -180,6 +185,87 @@ def fig13_profile(
             "wss_pages": wss_pages,
             "accesses": accesses,
             "memory_fraction": memory_fraction,
+            "engine_impl": engine,
+            "system": "d-vmm+leap",
+        },
+        wall_clock_s=wall_clock_s,
+    )
+    return artifact, result
+
+
+#: The fig13 *scale* tier: big enough that the burst engine's hot loop
+#: dominates wall clock, resident enough (0.9 memory fraction, hot-set
+#: workloads) that whole-burst classification has runs to vectorize —
+#: the regime the paper's Figure 11 memory-fraction axis calls the
+#: common case.  See PERF_BUDGETS.md for the wall-clock budget.
+FIG13_SCALE_TIER = {
+    "wss_pages": 4096,
+    "accesses": 240_000,
+    "memory_fraction": 0.95,
+}
+
+
+def fig13_scale_profile(
+    seed: int = 42,
+    cores: int = 4,
+    engine: str = "vectorized",
+) -> tuple[dict, RunResult]:
+    """Run the fig13 *scale tier*; return (artifact, result).
+
+    Four hot-set tenants (two zipfian skews, a permutation loop, and a
+    zipfian→permloop phase shift) at ``FIG13_SCALE_TIER`` scale on the
+    Leap stack.  The tier exists to measure the burst engines against
+    each other: simulated metrics are byte-identical across engines
+    (pinned by the equivalence tests), so the committed baseline gates
+    them like any profile, while ``wall_clock_s`` records the engine's
+    speed and can be budgeted with ``--max-wall-clock``.
+    """
+    from repro.sim.machine import Machine, leap_config
+    from repro.workloads.patterns import ZipfianWorkload
+    from repro.workloads.phased import PhasedWorkload
+
+    wss_pages = FIG13_SCALE_TIER["wss_pages"]
+    accesses = FIG13_SCALE_TIER["accesses"]
+    memory_fraction = FIG13_SCALE_TIER["memory_fraction"]
+    loop_pages = int(wss_pages * 0.8)
+    workload_by_name = {
+        "zipf-hot": ZipfianWorkload(wss_pages, accesses, skew=1.3, seed=seed),
+        "zipf-tail": ZipfianWorkload(wss_pages, accesses, skew=1.15, seed=seed + 1),
+        "permloop": PhasedWorkload(
+            wss_pages,
+            accesses,
+            phases=[{"kind": "permloop", "loop_pages": loop_pages}],
+            seed=seed + 2,
+        ),
+        "phase-shift": PhasedWorkload(
+            wss_pages,
+            accesses,
+            phases=[
+                {"kind": "zipfian", "skew": 1.2},
+                {"kind": "permloop", "loop_pages": loop_pages},
+            ],
+            seed=seed + 3,
+        ),
+    }
+    machine = Machine(leap_config(seed=seed, engine=engine))
+    pids = {name: pid for pid, name in enumerate(workload_by_name, start=1)}
+    workloads = {pids[name]: wl for name, wl in workload_by_name.items()}
+    started = time.perf_counter()
+    result = machine.run_concurrent(
+        workloads, cores=cores, memory_fraction=memory_fraction
+    )
+    wall_clock_s = time.perf_counter() - started
+    artifact = profile_concurrent(
+        result,
+        {pid: name for name, pid in pids.items()},
+        bench="fig13_scale",
+        config={
+            "seed": seed,
+            "cores": cores,
+            "wss_pages": wss_pages,
+            "accesses": accesses,
+            "memory_fraction": memory_fraction,
+            "engine_impl": engine,
             "system": "d-vmm+leap",
         },
         wall_clock_s=wall_clock_s,

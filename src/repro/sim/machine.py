@@ -58,6 +58,7 @@ DATA_PATHS = ("legacy", "lean")
 MEDIA = ("remote", "cluster", "hdd", "ssd")
 PREFETCHERS = ("readahead", "stride", "next-n-line", "ghb", "leap", "none")
 EVICTIONS = ("lazy", "eager")
+ENGINES = ("object", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,12 @@ class MachineConfig:
     """Full description of one simulated host."""
 
     seed: int = 42
+    #: Burst execution engine: ``object`` walks one PageAccess at a
+    #: time through the staged pipeline; ``vectorized`` (requires
+    #: numpy) feeds drivers columnar access blocks and classifies whole
+    #: resident runs as array operations (:mod:`repro.kernel`).  Both
+    #: produce bit-identical simulated metrics.
+    engine: str = "object"
     data_path: str = "legacy"
     medium: str = "remote"
     prefetcher: str = "readahead"
@@ -104,6 +111,16 @@ class MachineConfig:
     kswapd_batch: int = 64
 
     def validate(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.engine == "vectorized":
+            try:
+                import numpy  # noqa: F401
+            except ImportError as exc:
+                raise ValueError(
+                    "engine='vectorized' requires numpy; install it or "
+                    "use the default object engine"
+                ) from exc
         if self.data_path not in DATA_PATHS:
             raise ValueError(f"unknown data path {self.data_path!r}")
         if self.medium not in MEDIA:

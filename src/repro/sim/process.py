@@ -17,7 +17,7 @@ from typing import Iterator
 from repro.mem.vmm import FAULT_KINDS, AccessKind, VirtualMemoryManager
 from repro.sim.clock import VirtualClock
 
-__all__ = ["PageAccess", "ProcessDriver"]
+__all__ = ["PageAccess", "ProcessDriver", "make_driver"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,11 +35,19 @@ class ProcessDriver:
     def __init__(
         self,
         pid: int,
-        trace: Iterator[PageAccess],
+        trace: Iterator[PageAccess] | None,
         start_ns: int = 0,
+        cursor=None,
     ) -> None:
+        if (trace is None) == (cursor is None):
+            raise ValueError("provide exactly one of trace or cursor")
         self.pid = pid
-        self._trace = iter(trace)
+        self._trace = iter(trace) if trace is not None else None
+        #: Columnar trace source (:class:`repro.kernel.ColumnarCursor`)
+        #: for the vectorized engine; when set, bursts dispatch to
+        #: :func:`repro.kernel.vectorized.step_burst_columnar` and the
+        #: object-engine loops below are never entered.
+        self.cursor = cursor
         self.clock = VirtualClock(start_ns)
         self.started_ns = start_ns
         self.finished_ns: int | None = None
@@ -58,6 +66,10 @@ class ProcessDriver:
         #: burst fast path; the objects survive migration and limit
         #: resizes, so one lookup per driver lifetime suffices.
         self._burst_state: tuple | None = None
+        #: Cached (page_table, resident_lru, mask) for the vectorized
+        #: kernel, plus its adaptive classification lookahead.
+        self._kernel_state: tuple | None = None
+        self._lookahead = 64
 
     @property
     def done(self) -> bool:
@@ -74,7 +86,10 @@ class ProcessDriver:
         """Execute the next access; returns False when the trace ended."""
         if self.done:
             return False
-        access = next(self._trace, None)
+        if self.cursor is not None:
+            access = self.cursor.pop()
+        else:
+            access = next(self._trace, None)
         if access is None:
             self.finished_ns = self.clock.now
             return False
@@ -113,7 +128,18 @@ class ProcessDriver:
         resident hits take a short inline path and everything else goes
         through :meth:`FaultPipeline.access`.  Returns the number of
         accesses executed (0 when the trace had already ended).
+
+        Drivers built for the vectorized engine (``cursor`` set)
+        dispatch to :func:`repro.kernel.vectorized.step_burst_columnar`,
+        which honours the identical stop contract but classifies and
+        applies whole resident runs as array operations.
         """
+        if self.cursor is not None:
+            from repro.kernel.vectorized import step_burst_columnar
+
+            return step_burst_columnar(
+                self, vmm, index, stop_time, stop_index, events_at, budget
+            )
         if self.done:
             return 0
         pipeline = vmm.pipeline
@@ -178,3 +204,30 @@ class ProcessDriver:
             if resident_hits:
                 kind_counts[AccessKind.RESIDENT] += resident_hits
         return executed
+
+
+def make_driver(
+    pid: int,
+    workload,
+    start_ns: int = 0,
+    engine: str = "object",
+    block_size: int | None = None,
+) -> ProcessDriver:
+    """Build a :class:`ProcessDriver` for *workload* under *engine*.
+
+    ``"object"`` feeds the driver the per-access iterator from
+    :meth:`Workload.accesses`; ``"vectorized"`` feeds it a
+    :class:`~repro.kernel.ColumnarCursor` over
+    :meth:`Workload.columnar_blocks` — the same access sequence in
+    struct-of-arrays blocks, enabling the burst kernel.  Both engines
+    draw from identically-seeded RNG streams, so the simulated schedule
+    is bit-identical either way.
+    """
+    if engine == "object":
+        return ProcessDriver(pid, workload.accesses(), start_ns)
+    if engine != "vectorized":
+        raise ValueError(f"unknown engine {engine!r}")
+    from repro.kernel.columnar import DEFAULT_BLOCK_SIZE, ColumnarCursor
+
+    blocks = workload.columnar_blocks(block_size or DEFAULT_BLOCK_SIZE)
+    return ProcessDriver(pid, None, start_ns, cursor=ColumnarCursor(blocks))

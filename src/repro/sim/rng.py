@@ -166,6 +166,34 @@ class SimRandom:
             for _ in range(size)
         ]
 
+    def random_array(self, count: int):
+        """Draw *count* uniform floats in one batch, bit-exact with
+        *count* sequential :meth:`random` calls.
+
+        CPython's :class:`random.Random` and numpy's legacy
+        ``RandomState`` both run MT19937 and build doubles identically
+        (two words; 53 bits), so mirroring the 624-word state into
+        numpy, drawing the batch, and copying the state back consumes
+        exactly the same underlying stream as the scalar path — callers
+        may freely interleave scalar and batched draws.  Used by the
+        columnar workload generators; requires numpy.
+        """
+        import numpy as np
+
+        if count <= 0:
+            return np.empty(0, dtype=np.float64)
+        version, internal, gauss_next = self._rng.getstate()
+        mirror = np.random.RandomState()
+        mirror.set_state(
+            ("MT19937", np.array(internal[:-1], dtype=np.uint32), internal[-1], 0, 0.0)
+        )
+        values = mirror.random_sample(count)
+        _, words, position, _, _ = mirror.get_state()
+        self._rng.setstate(
+            (version, tuple(int(word) for word in words) + (int(position),), gauss_next)
+        )
+        return values
+
     def zipf(self, n_items: int, skew: float) -> int:
         """Draw an item index in ``[0, n_items)`` with Zipfian popularity."""
         key = (n_items, skew)

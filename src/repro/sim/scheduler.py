@@ -28,7 +28,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
-from repro.sim.process import ProcessDriver
+from repro.sim.process import ProcessDriver, make_driver
 from repro.sim.run import ProcessSummary, RunResult, summarize_driver, warmup_process
 from repro.sim.units import ms, us
 
@@ -222,6 +222,31 @@ class ConcurrentScheduler:
             self.epochs_fired += 1
             self.on_epoch(at, self)
 
+    def _build_window(self, vmm, max_total_accesses):
+        """Build the cross-driver resident window if it can be exact.
+
+        The vectorized engine's per-burst wins mostly vanish under
+        concurrency — think-time lockstep keeps bursts a couple of
+        accesses long — so the kernel instead bulk-executes every
+        driver's resident prefix *between* scalar pops
+        (:class:`repro.kernel.vectorized.ConcurrentResidentWindow`).
+        That is provably exact only when every driver is columnar, a
+        global access budget cannot cut a prefix short mid-window, at
+        least two drivers exist (one driver's bursts already cover the
+        solo case), and every driver is alone on its core, so core
+        contention and migration never arise.  Anything else returns
+        None and the pop loop runs unmodified.
+        """
+        if max_total_accesses is not None:
+            return None
+        if len(self.drivers) < 2:
+            return None
+        if any(driver.cursor is None for driver in self.drivers):
+            return None
+        from repro.kernel.vectorized import ConcurrentResidentWindow
+
+        return ConcurrentResidentWindow(self, vmm)
+
     def run(self, max_total_accesses: int | None = None) -> ConcurrentRunResult:
         """Run every driver to completion (or to the access budget).
 
@@ -238,7 +263,13 @@ class ConcurrentScheduler:
             heapq.heappush(heap, (driver.clock.now, index, driver))
         vmm = self.machine.vmm
         executed = 0
+        window = self._build_window(vmm, max_total_accesses)
         while heap:
+            if window is not None:
+                ran_window = window.try_run(heap)
+                if ran_window:
+                    executed += ran_window
+                    continue
             now, index, driver = heapq.heappop(heap)
             if self._timeline_index < len(self._timeline):
                 self._fire_due_events(now)
@@ -361,7 +392,7 @@ def simulate_concurrent(
             start_ns = max(start_ns, finish)
         machine.reset_measurements()
     drivers = [
-        ProcessDriver(pid, workload.accesses(), start_ns=start_ns)
+        make_driver(pid, workload, start_ns=start_ns, engine=machine.config.engine)
         for pid, workload in workloads.items()
     ]
     scheduler = ConcurrentScheduler(

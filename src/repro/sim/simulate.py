@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.sim.machine import Machine
-from repro.sim.process import ProcessDriver
+from repro.sim.process import make_driver
 from repro.sim.run import RunResult, run_processes, warmup_process
 from repro.workloads.base import Workload
 
@@ -56,7 +56,7 @@ def simulate(
             start_ns = max(start_ns, finish)
         machine.reset_measurements()
     drivers = [
-        ProcessDriver(pid, workload.accesses(), start_ns=start_ns)
+        make_driver(pid, workload, start_ns=start_ns, engine=machine.config.engine)
         for pid, workload in workloads.items()
     ]
     return run_processes(machine, drivers, max_total_accesses=max_total_accesses)

@@ -57,6 +57,89 @@ class Workload(abc.ABC):
     def _vpn_stream(self, rng: SimRandom) -> Iterator[int]:
         """Yield virtual page numbers (may be infinite; it is truncated)."""
 
+    def _columnar_vpn_blocks(self, rng: SimRandom, block_size: int):
+        """Native vectorized vpn generation hook (may be infinite).
+
+        Patterns with a closed array form (sequential sweeps, stride
+        sweeps, inverse-transform zipfian) override this to yield numpy
+        int64 arrays concatenating to exactly the :meth:`_vpn_stream`
+        sequence — same RNG stream, same draw order, so the emitted
+        trace is bit-identical.  The default returns None, which makes
+        :meth:`columnar_blocks` fall back to packing the object stream.
+        """
+        return None
+
+    def columnar_blocks(self, block_size: int | None = None):
+        """The trace as struct-of-arrays blocks (vectorized engine).
+
+        Yields :class:`~repro.kernel.AccessBlock` values whose columns
+        concatenate to exactly the :meth:`accesses` sequence: the same
+        labelled RNG streams are spawned in the same order ("writes"
+        before "vpns"), write flags are drawn one ``random()`` per
+        emitted access exactly when ``write_fraction > 0``, and vpns are
+        clamped with the same ``% wss_pages``.  Blocks are *block_size*
+        long except the last.
+        """
+        from repro.kernel.columnar import DEFAULT_BLOCK_SIZE, AccessBlock, pack_blocks
+
+        if block_size is None:
+            block_size = DEFAULT_BLOCK_SIZE
+        rng = SimRandom(self.seed, f"workload/{self.name}")
+        write_rng = rng.spawn("writes")
+        native = self._columnar_vpn_blocks(rng.spawn("vpns"), block_size)
+        if native is None:
+            yield from pack_blocks(self.accesses(), block_size)
+            return
+        import numpy as np
+
+        wss = self.wss_pages
+        think = self.think_ns
+        wf = self.write_fraction
+
+        def make_block(arr: "np.ndarray") -> AccessBlock:
+            n = len(arr)
+            if wf > 0.0:
+                writes = write_rng.random_array(n) < wf
+            else:
+                writes = np.zeros(n, dtype=np.bool_)
+            return AccessBlock(
+                vpn=(arr % wss).astype(np.int64, copy=False),
+                is_write=writes,
+                think_ns=np.full(n, think, dtype=np.int64),
+            )
+
+        def truncated() -> Iterator["np.ndarray"]:
+            remaining = self.total_accesses
+            for arr in native:
+                if len(arr) > remaining:
+                    arr = arr[:remaining]
+                if len(arr):
+                    yield arr
+                    remaining -= len(arr)
+                if remaining <= 0:
+                    return
+            if remaining > 0:
+                raise RuntimeError(
+                    f"workload {self.name} exhausted after "
+                    f"{self.total_accesses - remaining} accesses, "
+                    f"expected {self.total_accesses}"
+                )
+
+        buffered: list = []
+        buffered_len = 0
+        for arr in truncated():
+            buffered.append(arr)
+            buffered_len += len(arr)
+            while buffered_len >= block_size:
+                merged = np.concatenate(buffered) if len(buffered) > 1 else buffered[0]
+                yield make_block(merged[:block_size])
+                rest = merged[block_size:]
+                buffered = [rest] if len(rest) else []
+                buffered_len = len(rest)
+        if buffered_len:
+            merged = np.concatenate(buffered) if len(buffered) > 1 else buffered[0]
+            yield make_block(merged)
+
     def accesses(self) -> Iterator[PageAccess]:
         """The trace: ``total_accesses`` of :class:`PageAccess`."""
         rng = SimRandom(self.seed, f"workload/{self.name}")

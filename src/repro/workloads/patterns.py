@@ -53,6 +53,13 @@ class SequentialWorkload(Workload):
         while True:
             yield from sequential_run(0, self.wss_pages)
 
+    def _columnar_vpn_blocks(self, rng: SimRandom, block_size: int):
+        import numpy as np
+
+        sweep = np.arange(self.wss_pages, dtype=np.int64)
+        while True:
+            yield sweep
+
 
 class StrideWorkload(Workload):
     """Walk the working set with a fixed page stride (default 10).
@@ -85,6 +92,21 @@ class StrideWorkload(Workload):
                 phase = (phase + 1) % self.stride
                 position = phase
 
+    def _columnar_vpn_blocks(self, rng: SimRandom, block_size: int):
+        import numpy as np
+
+        wss, stride = self.wss_pages, self.stride
+        phase = 0
+        while True:
+            # One sweep starting at `phase`; when the start itself is
+            # past the region (stride > wss), the object loop still
+            # yields it once before wrapping.
+            if phase < wss:
+                yield np.arange(phase, wss, stride, dtype=np.int64)
+            else:
+                yield np.array([phase], dtype=np.int64)
+            phase = (phase + 1) % stride
+
 
 class RandomWorkload(Workload):
     """Uniform-random page access: the unpredictable extreme."""
@@ -94,6 +116,21 @@ class RandomWorkload(Workload):
     def _vpn_stream(self, rng: SimRandom) -> Iterator[int]:
         while True:
             yield rng.randrange(self.wss_pages)
+
+    def _columnar_vpn_blocks(self, rng: SimRandom, block_size: int):
+        # Uniform draws cannot be vectorized bit-exactly (they come
+        # from Python's Mersenne Twister), but batching them into
+        # arrays still skips per-access object construction.
+        import numpy as np
+
+        wss = self.wss_pages
+        randrange = rng.randrange
+        while True:
+            yield np.fromiter(
+                (randrange(wss) for _ in range(block_size)),
+                np.int64,
+                count=block_size,
+            )
 
 
 class ZipfianWorkload(Workload):
@@ -117,3 +154,22 @@ class ZipfianWorkload(Workload):
         draw = rng.spawn("zipf")
         while True:
             yield scatter[draw.zipf(self.wss_pages, self.skew)]
+
+    def _columnar_vpn_blocks(self, rng: SimRandom, block_size: int):
+        # Same spawn order and uniform draws as _vpn_stream; only the
+        # inverse-transform lookup is vectorized, and searchsorted on
+        # the float64 CDF computes the identical bisect_left index.
+        import numpy as np
+
+        from repro.sim.rng import _zipf_cdf
+
+        wss = self.wss_pages
+        scatter = list(range(wss))
+        rng.spawn("scatter").shuffle(scatter)
+        draw = rng.spawn("zipf")
+        scatter_arr = np.array(scatter, dtype=np.int64)
+        cdf = np.array(_zipf_cdf(wss, self.skew), dtype=np.float64)
+        while True:
+            u = draw.random_array(block_size)
+            ranks = np.minimum(np.searchsorted(cdf, u, side="left"), wss - 1)
+            yield scatter_arr[ranks]

@@ -153,3 +153,81 @@ class PhasedWorkload(Workload):
             stream = _phase_stream(phase, self.wss_pages, rng.spawn(f"phase{index}"))
             for _ in range(count):
                 yield next(stream)
+
+    def _columnar_vpn_blocks(self, rng: SimRandom, block_size: int):
+        """Per-phase native arrays, spawning ``phase{i}`` streams in
+        the same order as :meth:`_vpn_stream`.
+
+        Deterministic kinds (sequential, stride, permloop) emit closed
+        arrays; the stochastic kinds draw from the identical per-phase
+        RNG through the object stream, batched with ``fromiter`` —
+        either way each phase contributes exactly its access share.
+        """
+        import numpy as np
+        from itertools import islice
+
+        from repro.sim.rng import _zipf_cdf
+
+        wss = self.wss_pages
+        for index, (phase, count) in enumerate(zip(self.phases, self.phase_accesses)):
+            phase_rng = rng.spawn(f"phase{index}")
+            kind = phase["kind"]
+            remaining = count
+            if kind == "sequential":
+                sweep = np.arange(wss, dtype=np.int64)
+                while remaining > 0:
+                    arr = sweep if remaining >= wss else sweep[:remaining]
+                    yield arr
+                    remaining -= len(arr)
+            elif kind == "stride":
+                stride = int(phase.get("stride", 10))
+                if stride <= 0:
+                    raise ValueError(f"stride must be positive, got {stride}")
+                offset = 0
+                while remaining > 0:
+                    if offset < wss:
+                        arr = np.arange(offset, wss, stride, dtype=np.int64)
+                    else:
+                        arr = np.array([offset], dtype=np.int64)
+                    if len(arr) > remaining:
+                        arr = arr[:remaining]
+                    yield arr
+                    remaining -= len(arr)
+                    offset = (offset + 1) % stride
+            elif kind == "permloop":
+                loop_pages = int(phase.get("loop_pages", wss))
+                if not 2 <= loop_pages <= wss:
+                    raise ValueError(
+                        f"loop_pages must be in [2, wss_pages={wss}], "
+                        f"got {loop_pages}"
+                    )
+                order = list(range(loop_pages))
+                phase_rng.spawn("perm").shuffle(order)
+                loop = np.array(order, dtype=np.int64)
+                while remaining > 0:
+                    arr = loop if remaining >= loop_pages else loop[:remaining]
+                    yield arr
+                    remaining -= len(arr)
+            elif kind == "zipfian":
+                skew = float(phase.get("skew", 0.99))
+                scatter = list(range(wss))
+                phase_rng.spawn("scatter").shuffle(scatter)
+                draw = phase_rng.spawn("zipf")
+                scatter_arr = np.array(scatter, dtype=np.int64)
+                cdf = np.array(_zipf_cdf(wss, skew), dtype=np.float64)
+                while remaining > 0:
+                    chunk = min(remaining, block_size)
+                    u = draw.random_array(chunk)
+                    ranks = np.minimum(
+                        np.searchsorted(cdf, u, side="left"), wss - 1
+                    )
+                    yield scatter_arr[ranks]
+                    remaining -= chunk
+            else:
+                # noisy-sequential / random: per-draw control flow with
+                # no closed form; batch the object stream itself.
+                stream = _phase_stream(phase, wss, phase_rng)
+                while remaining > 0:
+                    chunk = min(remaining, block_size)
+                    yield np.fromiter(islice(stream, chunk), np.int64, count=chunk)
+                    remaining -= chunk

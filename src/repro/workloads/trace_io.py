@@ -155,3 +155,38 @@ class RecordedWorkload(Workload):
 
     def accesses(self) -> Iterator[PageAccess]:
         return iter(self._accesses)
+
+    def columnar_blocks(self, block_size: int | None = None):
+        """Columnar replay: the stored accesses packed once and cached.
+
+        A recording is already fully materialized, so there is no RNG
+        stream to mirror — the columns are built straight from the
+        stored list (write flags and per-access think times included)
+        and reused across replays of the same workload object.
+        """
+        from repro.kernel.columnar import DEFAULT_BLOCK_SIZE, AccessBlock
+
+        if block_size is None:
+            block_size = DEFAULT_BLOCK_SIZE
+        cached = getattr(self, "_columnar_cache", None)
+        if cached is None or cached[0] != block_size:
+            import numpy as np
+
+            blocks = []
+            items = self._accesses
+            for start in range(0, len(items), block_size):
+                chunk = items[start : start + block_size]
+                blocks.append(
+                    AccessBlock(
+                        vpn=np.array([a.vpn for a in chunk], dtype=np.int64),
+                        is_write=np.array(
+                            [a.is_write for a in chunk], dtype=np.bool_
+                        ),
+                        think_ns=np.array(
+                            [a.think_ns for a in chunk], dtype=np.int64
+                        ),
+                    )
+                )
+            cached = (block_size, blocks)
+            self._columnar_cache = cached
+        return iter(cached[1])

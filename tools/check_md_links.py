@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs tree.
+
+Scans the given markdown files (default: every tracked ``*.md`` at the
+repo root and under ``docs/``) for inline links and verifies that
+
+* relative links resolve to an existing file or directory, and
+* fragment-only links (``#section``) match a heading in the same file.
+
+External links (``http``/``https``/``mailto``) are *not* fetched — CI
+must not flake on someone else's outage — they are only counted.
+Exit status is the number of broken links, so the CI docs job fails
+iff something is actually broken.
+
+Usage::
+
+    python tools/check_md_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set[str]:
+    return {slugify(m.group(1)) for m in HEADING.finditer(path.read_text(encoding="utf-8"))}
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:
+            if fragment and slugify(fragment) not in headings_of(path):
+                errors.append(f"{path}: broken anchor #{fragment}")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target} (no {resolved.relative_to(root)})")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if slugify(fragment) not in headings_of(resolved):
+                errors.append(f"{path}: broken anchor {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    all_errors = []
+    external = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        external += sum(
+            1
+            for m in LINK.finditer(text)
+            if m.group(1).startswith(("http://", "https://", "mailto:"))
+        )
+        all_errors.extend(check_file(path, root))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    print(
+        f"checked {len(files)} files: {len(all_errors)} broken, "
+        f"{external} external links skipped"
+    )
+    return len(all_errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
