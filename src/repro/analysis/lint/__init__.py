@@ -1,0 +1,35 @@
+"""Repo-specific static analysis behind ``repro check``.
+
+Four AST-based rules guard the invariants the reproduction's results
+rest on (see docs/static-analysis.md for the catalog and the how-to):
+
+* **R1 determinism** — no wall clock, ambient randomness, or
+  hash-ordered iteration in the simulation core;
+* **R2 hot-path hygiene** — slotted dataclasses in hot packages,
+  allocation-free kernel burst loops;
+* **R3 engine parity** — every ``MachineConfig`` field honored by both
+  burst engines (or explicitly allowlisted);
+* **R4 counter registry** — every ``PrefetchMetrics``/``QueueStats``
+  counter surfaces in payloads and is documented in PERF_BUDGETS.md.
+
+The runtime half of the same contract — structural invariants checked
+per burst while a simulation runs — lives in
+:mod:`repro.analysis.sanitize`.
+"""
+
+from repro.analysis.lint.base import CheckContext, Finding, SourceFile
+from repro.analysis.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.lint.runner import RULES, build_context, default_repro_dir, run_check
+
+__all__ = [
+    "RULES",
+    "CheckContext",
+    "Finding",
+    "SourceFile",
+    "apply_baseline",
+    "build_context",
+    "default_repro_dir",
+    "load_baseline",
+    "run_check",
+    "write_baseline",
+]

@@ -1,0 +1,106 @@
+"""Shared infrastructure for the ``repro check`` static-analysis rules.
+
+Each rule module exposes ``RULE_ID``, ``TITLE``, and
+``run(ctx) -> list[Finding]``; this module provides the pieces they
+share — the :class:`Finding` record, the parsed-source table inside
+:class:`CheckContext`, and small AST helpers.
+
+A finding's ``key`` is a stable, line-number-free identifier (the
+banned name, the offending class, the config field, ...).  Baselines
+suppress on ``fingerprint`` = ``rule:path:key`` so a reviewed waiver
+survives unrelated edits that shift line numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "CheckContext",
+    "Finding",
+    "SourceFile",
+    "dotted_name",
+    "iter_parents",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation: where, what, and how to fix it."""
+
+    rule: str
+    path: str  # posix path relative to the ``repro`` package dir
+    line: int
+    message: str
+    hint: str
+    key: str  # stable id for baseline matching (no line numbers)
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}:{self.path}:{self.key}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message} (hint: {self.hint})"
+
+
+@dataclass(frozen=True, slots=True)
+class SourceFile:
+    """A parsed module: path relative to the package dir, text, AST."""
+
+    rel: str
+    path: Path
+    text: str
+    tree: ast.Module
+
+
+@dataclass(frozen=True, slots=True)
+class CheckContext:
+    """Everything a rule needs: the parsed tree and where docs live.
+
+    ``sources`` maps posix-relative paths (``sim/machine.py``) to
+    parsed modules.  ``budgets_path`` is the repo's PERF_BUDGETS.md (or
+    None when the tree under analysis has none — rule R4 reports that
+    itself).
+    """
+
+    repro_dir: Path
+    sources: dict[str, SourceFile]
+    budgets_path: Path | None
+
+    def budgets_text(self) -> str | None:
+        if self.budgets_path is None or not self.budgets_path.exists():
+            return None
+        return self.budgets_path.read_text()
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for nested Name/Attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """Child → parent map for the whole tree (one pass, reused by rules)."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents

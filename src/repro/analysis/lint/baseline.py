@@ -1,0 +1,59 @@
+"""Baseline (suppression) files for ``repro check``.
+
+A baseline is a reviewed list of finding fingerprints that are
+tolerated — the escape hatch that lets a new rule land while a real
+cleanup happens in a follow-up.  Fingerprints are line-number-free
+(``rule:path:key``) so unrelated edits don't invalidate the file.
+
+Format (JSON, stable ordering so diffs review well)::
+
+    {
+      "version": 1,
+      "suppressions": ["R2:sim/run.py:slots-RunResult", ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.lint.base import Finding
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Fingerprints suppressed by the file at ``path``."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline file {path}")
+    suppressions = data.get("suppressions", [])
+    if not all(isinstance(s, str) for s in suppressions):
+        raise ValueError(f"baseline suppressions must be strings: {path}")
+    return set(suppressions)
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Write the current findings as a reviewed baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "suppressions": sorted({f.fingerprint for f in findings}),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], suppressed: set[str]
+) -> tuple[list[Finding], set[str]]:
+    """(kept findings, unused suppressions).
+
+    Unused suppressions are reported so stale waivers get pruned when
+    the underlying violation is actually fixed.
+    """
+    kept = [f for f in findings if f.fingerprint not in suppressed]
+    used = {f.fingerprint for f in findings if f.fingerprint in suppressed}
+    return kept, suppressed - used

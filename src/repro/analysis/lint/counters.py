@@ -1,0 +1,174 @@
+"""R4 — counter registry: every counter surfaces and is documented.
+
+A counter that is incremented but never exported is unverifiable dead
+weight; one that is exported but undocumented is a trap for whoever
+reads the artifact.  This rule closes the loop for the two counter
+structs on the fault path:
+
+* every public integer field of ``PrefetchMetrics``
+  (``metrics/counters.py``) must appear as a key in its ``as_dict``
+  export (that is what lands in artifact ``pipeline`` sections);
+* every public counter attribute assigned in ``QueueStats.__init__``
+  (``rdma/qp.py``) must be read somewhere outside ``rdma/qp.py``
+  (``agent.dispatch_stats``, ``MemoryServer.stats_row``, ... — the
+  payload producers);
+* both sets of names must appear in ``PERF_BUDGETS.md``'s counter
+  registry, so the docs and the code can't drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.lint.base import CheckContext, Finding
+
+RULE_ID = "R4"
+TITLE = "counter registry (counters surface in payloads and PERF_BUDGETS.md)"
+
+METRICS_MODULE = "metrics/counters.py"
+METRICS_CLASS = "PrefetchMetrics"
+QUEUE_MODULE = "rdma/qp.py"
+QUEUE_CLASS = "QueueStats"
+
+
+def _class_def(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _int_fields(cls: ast.ClassDef) -> dict[str, int]:
+    """Public int-annotated dataclass fields (the scalar counters)."""
+    fields: dict[str, int] = {}
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+            continue
+        name = stmt.target.id
+        if name.startswith("_"):
+            continue
+        if isinstance(stmt.annotation, ast.Name) and stmt.annotation.id == "int":
+            fields[name] = stmt.lineno
+    return fields
+
+
+def _init_counters(cls: ast.ClassDef) -> dict[str, int]:
+    """Public ``self.X = ...`` attributes assigned in __init__."""
+    counters: dict[str, int] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and not target.attr.startswith("_")
+                        ):
+                            counters.setdefault(target.attr, node.lineno)
+    return counters
+
+
+def _string_keys(node: ast.AST) -> set[str]:
+    return {
+        n.value
+        for n in ast.walk(node)
+        if isinstance(n, ast.Constant) and isinstance(n.value, str)
+    }
+
+
+def _attribute_reads(tree: ast.Module, names: set[str]) -> set[str]:
+    return {n.attr for n in ast.walk(tree) if isinstance(n, ast.Attribute) and n.attr in names}
+
+
+def _documented(text: str, name: str) -> bool:
+    return re.search(rf"\b{re.escape(name)}\b", text) is not None
+
+
+def run(ctx: CheckContext) -> list[Finding]:
+    findings: list[Finding] = []
+    budgets = ctx.budgets_text()
+
+    checks: list[tuple[str, str, dict[str, int], set[str]]] = []
+
+    metrics_src = ctx.sources.get(METRICS_MODULE)
+    if metrics_src is not None:
+        cls = _class_def(metrics_src.tree, METRICS_CLASS)
+        if cls is not None:
+            fields = _int_fields(cls)
+            exported: set[str] = set()
+            for stmt in cls.body:
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "as_dict":
+                    exported = _string_keys(stmt)
+            for name, line in sorted(fields.items()):
+                if name not in exported:
+                    findings.append(
+                        Finding(
+                            rule=RULE_ID,
+                            path=METRICS_MODULE,
+                            line=line,
+                            message=f"{METRICS_CLASS}.{name} is not exported by as_dict()",
+                            hint="add the counter to PrefetchMetrics.as_dict so it reaches"
+                            " artifact payloads",
+                            key=f"unexported-{METRICS_CLASS}.{name}",
+                        )
+                    )
+            checks.append((METRICS_MODULE, METRICS_CLASS, fields, set(fields)))
+
+    queue_src = ctx.sources.get(QUEUE_MODULE)
+    if queue_src is not None:
+        cls = _class_def(queue_src.tree, QUEUE_CLASS)
+        if cls is not None:
+            counters = _init_counters(cls)
+            surfaced: set[str] = set()
+            for rel, source in ctx.sources.items():
+                if rel == QUEUE_MODULE:
+                    continue
+                surfaced |= _attribute_reads(source.tree, set(counters))
+            for name, line in sorted(counters.items()):
+                if name not in surfaced:
+                    findings.append(
+                        Finding(
+                            rule=RULE_ID,
+                            path=QUEUE_MODULE,
+                            line=line,
+                            message=f"{QUEUE_CLASS}.{name} never surfaces in a payload producer",
+                            hint="read it in agent.dispatch_stats / MemoryServer.stats_row"
+                            " (or drop the counter)",
+                            key=f"unsurfaced-{QUEUE_CLASS}.{name}",
+                        )
+                    )
+            checks.append((QUEUE_MODULE, QUEUE_CLASS, counters, set(counters)))
+
+    if not checks:
+        return findings
+
+    if budgets is None:
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                path="PERF_BUDGETS.md",
+                line=1,
+                message="PERF_BUDGETS.md not found — counter registry cannot be checked",
+                hint="keep PERF_BUDGETS.md at the repo root with a counter registry section",
+                key="missing-budgets",
+            )
+        )
+        return findings
+
+    for module, cls_name, fields, _ in checks:
+        for name, line in sorted(fields.items()):
+            if not _documented(budgets, name):
+                findings.append(
+                    Finding(
+                        rule=RULE_ID,
+                        path=module,
+                        line=line,
+                        message=f"{cls_name}.{name} is undocumented in PERF_BUDGETS.md",
+                        hint="add the counter to the registry table in PERF_BUDGETS.md",
+                        key=f"undocumented-{cls_name}.{name}",
+                    )
+                )
+    return findings

@@ -1,0 +1,238 @@
+"""R1 — determinism: no wall clock, ambient randomness, or unordered
+iteration in the simulation core.
+
+Every simulated metric in this repo is contractually byte-identical
+across runs, engines, and Python processes.  Three source-level leaks
+can break that silently:
+
+* **wall clock** — ``time.time()`` / ``datetime.now()`` feeding a
+  simulated value ties results to the host;
+* **ambient randomness** — stdlib ``random`` / ``uuid`` /
+  ``os.urandom`` / ``numpy.random`` bypasses the seeded
+  :class:`repro.sim.rng.SimRandom` streams;
+* **unordered iteration** — a ``for`` over a ``set`` expression feeds
+  hash order (which varies with PYTHONHASHSEED) into results.
+
+Scope: the simulation packages get the full ban (``sim/``,
+``kernel/``, ``datapath/``, ``mem/``, ``workloads/``, ``control/``,
+``core/``, ``rdma/``, ``prefetchers/``, ``cluster/``, ``scenarios/``,
+``metrics/``, ``analysis/``, ``storage/``, ``vfs/``).  The service
+layer may reach the wall clock, but only through the allowlisted
+``service/clock.py`` (``time.monotonic``/``time.sleep`` stay legal
+there — they pace host polling and never enter payloads).  ``perf/``,
+``bench/``, and ``cli/`` measure wall clock on purpose and are exempt
+from the clock ban, but the unordered-iteration check still applies to
+every module: report ordering must not depend on hash seeds either.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.base import CheckContext, Finding, dotted_name, iter_parents
+
+RULE_ID = "R1"
+TITLE = "determinism (no wall clock / ambient randomness / unordered iteration)"
+
+#: Packages holding simulated state: full clock + randomness ban.
+SIM_SCOPE = (
+    "sim/",
+    "kernel/",
+    "datapath/",
+    "mem/",
+    "workloads/",
+    "control/",
+    "core/",
+    "rdma/",
+    "prefetchers/",
+    "cluster/",
+    "scenarios/",
+    "metrics/",
+    "analysis/",
+    "storage/",
+    "vfs/",
+)
+
+#: Modules allowed to break the ban, with the reason on record.
+ALLOWLIST = {
+    # SimRandom's own implementation: wraps seeded random.Random and
+    # mirrors MT19937 state into numpy.  The one randomness source.
+    "sim/rng.py": ("random", "numpy.random"),
+    # The service layer's single wall-clock + job-id window.
+    "service/clock.py": ("time", "uuid"),
+}
+
+#: Modules banned outright in sim scope (any import is a finding).
+_BANNED_SIM_MODULES = ("time", "datetime", "random", "uuid", "secrets")
+
+#: Wall-clock calls banned in the service layer (monotonic/sleep ok).
+_BANNED_SERVICE_CALLS = (
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+)
+
+_SET_BINOPS = (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+
+
+def _allowed(rel: str, what: str) -> bool:
+    return what in ALLOWLIST.get(rel, ())
+
+
+def _module_findings(rel: str, tree: ast.Module) -> list[Finding]:
+    """Ban whole-module imports of clock/randomness sources in sim scope."""
+    findings = []
+    for node in ast.walk(tree):
+        names: list[tuple[str, int]] = []
+        if isinstance(node, ast.Import):
+            names = [(alias.name.split(".")[0], node.lineno) for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            names = [(node.module.split(".")[0], node.lineno)]
+        for mod, lineno in names:
+            if mod in _BANNED_SIM_MODULES and not _allowed(rel, mod):
+                findings.append(
+                    Finding(
+                        rule=RULE_ID,
+                        path=rel,
+                        line=lineno,
+                        message=f"import of nondeterministic module '{mod}' in simulation scope",
+                        hint="route randomness through repro.sim.rng.SimRandom; wall clock has"
+                        " no place in simulated state (service code: use service/clock.py)",
+                        key=f"import-{mod}",
+                    )
+                )
+    return findings
+
+
+def _call_findings(rel: str, tree: ast.Module, banned: tuple[str, ...]) -> list[Finding]:
+    """Flag specific banned call expressions (service scope, os.urandom)."""
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name in banned and not _allowed(rel, name.split(".")[0]):
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=rel,
+                    line=node.lineno,
+                    message=f"wall-clock/entropy call '{name}()' outside service/clock.py",
+                    hint="import wall_time()/job_id() from repro.service.clock instead",
+                    key=f"call-{name}",
+                )
+            )
+    return findings
+
+
+def _numpy_random_findings(rel: str, tree: ast.Module) -> list[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute) or node.attr != "random":
+            continue
+        base = node.value
+        if isinstance(base, ast.Name) and base.id in ("np", "numpy"):
+            if not _allowed(rel, "numpy.random"):
+                findings.append(
+                    Finding(
+                        rule=RULE_ID,
+                        path=rel,
+                        line=node.lineno,
+                        message="direct numpy.random use bypasses the seeded SimRandom streams",
+                        hint="use SimRandom.random_array / a labelled stream from repro.sim.rng",
+                        key="numpy-random",
+                    )
+                )
+    return findings
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Expressions whose iteration order depends on the hash seed."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = dotted_name(node.func)
+        if func in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _sorted_wraps(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> bool:
+    """True when ``node`` is (an argument of) a call to sorted()/min()/max()."""
+    parent = parents.get(node)
+    # Walk through the comprehension plumbing up to the enclosing call.
+    while isinstance(parent, (ast.comprehension, ast.GeneratorExp, ast.SetComp, ast.ListComp)):
+        parent = parents.get(parent)
+    if isinstance(parent, ast.Call):
+        func = dotted_name(parent.func)
+        return func in ("sorted", "min", "max", "sum", "len", "any", "all")
+    return False
+
+
+def _iteration_findings(rel: str, tree: ast.Module) -> list[Finding]:
+    """Flag result-feeding iteration over set expressions.
+
+    A ``for`` statement over a set expression executes its body in
+    hash order; a comprehension over one builds a hash-ordered list.
+    Both are exempt when the result immediately flows through an
+    order-insensitive reducer (``sorted``, ``min``, ``max``, ``sum``,
+    ``len``, ``any``, ``all``).
+    """
+    findings = []
+    parents = iter_parents(tree)
+    seen_lines: set[int] = set()
+
+    def flag(iter_node: ast.AST, context: str) -> None:
+        if iter_node.lineno in seen_lines:
+            return
+        seen_lines.add(iter_node.lineno)
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                path=rel,
+                line=iter_node.lineno,
+                message=f"{context} iterates a set expression in hash order",
+                hint="wrap the set in sorted(...) so iteration order is deterministic",
+                key=f"set-iteration-L{iter_node.lineno}",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+            flag(node.iter, "for loop")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter) and not _sorted_wraps(node, parents):
+                    flag(gen.iter, "comprehension")
+    return findings
+
+
+def run(ctx: CheckContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for rel, src in ctx.sources.items():
+        in_sim = rel.startswith(SIM_SCOPE)
+        in_service = rel.startswith("service/")
+        if in_sim:
+            findings.extend(_module_findings(rel, src.tree))
+            findings.extend(_call_findings(rel, src.tree, ("os.urandom",)))
+            findings.extend(_numpy_random_findings(rel, src.tree))
+        elif in_service:
+            findings.extend(_call_findings(rel, src.tree, _BANNED_SERVICE_CALLS))
+            # stdlib random / secrets have no business in the service
+            # layer either; uuid is allowlisted into clock.py only.
+            for imp in _module_findings(rel, src.tree):
+                if imp.key in ("import-random", "import-secrets", "import-uuid"):
+                    findings.append(imp)
+        # Hash-ordered iteration corrupts reports too, not just sims.
+        findings.extend(_iteration_findings(rel, src.tree))
+    return findings

@@ -1,0 +1,139 @@
+"""R2 — hot-path hygiene: slotted dataclasses, allocation-free kernel loops.
+
+The fault path creates a :class:`PageTableEntry`-sized object per
+resident page and touches counters on every access; ``__dict__``-backed
+instances cost ~3x the memory and a dict lookup per attribute.  Every
+``@dataclass`` in the hot packages must therefore declare
+``slots=True``.
+
+The vectorized kernel's burst loops (``kernel/``) additionally must not
+allocate per-iteration container objects: a ``dict``/``set`` literal,
+``dict``/``set`` comprehension, or ``lambda`` inside a ``for``/``while``
+body re-allocates on every burst and shows up directly in the
+engine-A/B wall-clock ratio the nightly tracks.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.base import CheckContext, Finding, dotted_name
+
+RULE_ID = "R2"
+TITLE = "hot-path hygiene (slots=True dataclasses, allocation-free kernel loops)"
+
+#: Packages whose dataclasses sit on the per-access fault path (or are
+#: instantiated per page / per burst).
+HOT_SCOPE = (
+    "sim/",
+    "kernel/",
+    "datapath/",
+    "mem/",
+    "rdma/",
+    "core/",
+    "metrics/",
+    "cluster/",
+    "workloads/",
+    "control/",
+    "prefetchers/",
+    "analysis/",
+    "storage/",
+    "vfs/",
+)
+
+_LOOP_ALLOC_NODES = (ast.Dict, ast.Set, ast.DictComp, ast.SetComp, ast.Lambda)
+
+
+def _is_dataclass_decorator(node: ast.AST) -> ast.Call | None:
+    """The decorator Call node if this is @dataclass(...), else None.
+
+    A bare ``@dataclass`` (no call) returns a sentinel ``None``-call by
+    convention: the caller treats "not a Call" as "no slots keyword".
+    """
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return node
+        return None
+    return None
+
+
+def _dataclass_findings(rel: str, tree: ast.Module) -> list[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for dec in node.decorator_list:
+            name = dotted_name(dec)
+            call = _is_dataclass_decorator(dec)
+            if name in ("dataclass", "dataclasses.dataclass") and call is None:
+                has_slots = False  # bare @dataclass
+            elif call is not None:
+                has_slots = any(
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in call.keywords
+                )
+            else:
+                continue
+            if not has_slots:
+                findings.append(
+                    Finding(
+                        rule=RULE_ID,
+                        path=rel,
+                        line=node.lineno,
+                        message=f"dataclass '{node.name}' in hot package lacks slots=True",
+                        hint="declare @dataclass(slots=True) (subclasses of a slotted base"
+                        " must be slotted too)",
+                        key=f"slots-{node.name}",
+                    )
+                )
+            break
+    return findings
+
+
+def _loop_alloc_findings(rel: str, tree: ast.Module) -> list[Finding]:
+    findings = []
+    func_name = "<module>"
+
+    def visit(node: ast.AST, in_loop: bool, func: str) -> None:
+        nonlocal findings
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = node.name
+            in_loop = False  # a def inside a loop gets its own budget
+        if in_loop and isinstance(node, _LOOP_ALLOC_NODES):
+            kind = type(node).__name__
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=rel,
+                    line=node.lineno,
+                    message=f"{kind} allocated inside a kernel burst loop (in {func})",
+                    hint="hoist the container/lambda out of the loop or restructure"
+                    " as a columnar array op",
+                    key=f"loop-alloc-{func}-{kind}",
+                )
+            )
+            return  # one finding per construct; don't descend further
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            for child in node.body:
+                visit(child, True, func)
+            for child in node.orelse:
+                visit(child, in_loop, func)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_loop, func)
+
+    visit(tree, False, func_name)
+    return findings
+
+
+def run(ctx: CheckContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for rel, src in ctx.sources.items():
+        if rel.startswith(HOT_SCOPE):
+            findings.extend(_dataclass_findings(rel, src.tree))
+        if rel.startswith("kernel/"):
+            findings.extend(_loop_alloc_findings(rel, src.tree))
+    return findings

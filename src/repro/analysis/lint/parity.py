@@ -1,0 +1,132 @@
+"""R3 — engine parity: every MachineConfig knob reaches both engines.
+
+PR 7's contract is that the object :class:`FaultPipeline` and the
+vectorized burst engine produce byte-identical simulated metrics.  The
+cheapest way to break that silently is a config field consumed by one
+engine and ignored by the other — the tests only catch it if some
+fixture happens to vary that field.  This rule makes the drift a CI
+failure at the source level:
+
+* a field **read nowhere** is a dead knob (finding);
+* a field read **only** in the object-engine scope (``datapath/``) or
+  **only** in the vectorized scope (``kernel/``), with no shared-scope
+  read, is one-sided (finding) unless listed in
+  :data:`PARITY_ALLOWLIST` with a reason.
+
+Reads in shared scope — :class:`repro.sim.machine.Machine` assembling
+the backend/cache/prefetcher both engines run on, the scheduler, the
+VMM — count for *both* engines, because both execute on the objects
+built there.  A "read" is an attribute access ``<config expr>.field``
+where the base is a name ``config``/``cfg`` or an attribute ending in
+``.config`` (``self.config.x``, ``machine.config.x``); the
+``MachineConfig`` class body itself (defaults, ``validate``) does not
+count.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.base import CheckContext, Finding
+
+RULE_ID = "R3"
+TITLE = "engine parity (every MachineConfig field honored by both engines)"
+
+CONFIG_MODULE = "sim/machine.py"
+CONFIG_CLASS = "MachineConfig"
+
+#: Fields deliberately consumed by a single engine, with the reviewed
+#: reason.  Adding a field here is a code-review decision — the rule
+#: prints the reason so the waiver stays visible in CI logs.
+PARITY_ALLOWLIST: dict[str, str] = {}
+
+_OBJECT_SCOPE = ("datapath/",)
+_VECTORIZED_SCOPE = ("kernel/",)
+
+
+def _config_fields(tree: ast.Module) -> tuple[dict[str, int], ast.ClassDef | None]:
+    """MachineConfig's annotated field names (name -> lineno)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == CONFIG_CLASS:
+            fields = {
+                stmt.target.id: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+            }
+            return fields, node
+    return {}, None
+
+
+def _is_config_base(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in ("config", "cfg")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("config", "cfg")
+    return False
+
+
+def _config_reads(tree: ast.Module, fields: set[str], skip: ast.ClassDef | None) -> set[str]:
+    """Field names read as ``<config>.field`` in this module."""
+    skipped: set[ast.AST] = set(ast.walk(skip)) if skip is not None else set()
+    reads: set[str] = set()
+    for node in ast.walk(tree):
+        if node in skipped:
+            continue
+        if isinstance(node, ast.Attribute) and node.attr in fields:
+            if _is_config_base(node.value):
+                reads.add(node.attr)
+    return reads
+
+
+def run(ctx: CheckContext) -> list[Finding]:
+    src = ctx.sources.get(CONFIG_MODULE)
+    if src is None:
+        return []
+    fields, config_class = _config_fields(src.tree)
+    if not fields:
+        return []
+
+    field_set = set(fields)
+    shared: set[str] = set()
+    object_only: set[str] = set()
+    vectorized_only: set[str] = set()
+    for rel, source in ctx.sources.items():
+        skip = config_class if rel == CONFIG_MODULE else None
+        reads = _config_reads(source.tree, field_set, skip)
+        if rel.startswith(_OBJECT_SCOPE):
+            object_only |= reads
+        elif rel.startswith(_VECTORIZED_SCOPE):
+            vectorized_only |= reads
+        else:
+            shared |= reads
+
+    findings = []
+    for name in sorted(fields):
+        line = fields[name]
+        in_obj = name in object_only or name in shared
+        in_vec = name in vectorized_only or name in shared
+        if not in_obj and not in_vec:
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=CONFIG_MODULE,
+                    line=line,
+                    message=f"MachineConfig.{name} is never read — dead config knob",
+                    hint="wire the field into Machine/engine construction or delete it",
+                    key=f"dead-{name}",
+                )
+            )
+        elif in_obj != in_vec and name not in PARITY_ALLOWLIST:
+            side = "object (datapath/)" if in_obj else "vectorized (kernel/)"
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=CONFIG_MODULE,
+                    line=line,
+                    message=f"MachineConfig.{name} is read only by the {side} engine",
+                    hint="honor it in both engines, or add it to PARITY_ALLOWLIST"
+                    " in repro/analysis/lint/parity.py with the reviewed reason",
+                    key=f"one-sided-{name}",
+                )
+            )
+    return findings

@@ -1,0 +1,76 @@
+"""Collects sources, runs the rule set, orders the findings.
+
+The runner is deliberately root-parameterized: production use points it
+at the installed ``repro`` package (``default_repro_dir``), the test
+suite points it at tiny fixture trees that mirror the package layout
+with seeded violations.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.analysis.lint import counters, determinism, hygiene, parity
+from repro.analysis.lint.base import CheckContext, Finding, SourceFile
+
+__all__ = ["RULES", "build_context", "default_repro_dir", "run_check"]
+
+#: Rule id -> (title, run callable).  Ordered: findings sort by rule id.
+RULES: dict[str, tuple[str, Callable[[CheckContext], list[Finding]]]] = {
+    determinism.RULE_ID: (determinism.TITLE, determinism.run),
+    hygiene.RULE_ID: (hygiene.TITLE, hygiene.run),
+    parity.RULE_ID: (parity.TITLE, parity.run),
+    counters.RULE_ID: (counters.TITLE, counters.run),
+}
+
+
+def default_repro_dir() -> Path:
+    """The installed ``repro`` package directory (src/repro in checkout)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _find_budgets(repro_dir: Path) -> Path | None:
+    """PERF_BUDGETS.md, walking up from the package dir (src layout)."""
+    for ancestor in [repro_dir, *repro_dir.parents[:3]]:
+        candidate = ancestor / "PERF_BUDGETS.md"
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def build_context(repro_dir: Path, budgets_path: Path | None = None) -> CheckContext:
+    sources: dict[str, SourceFile] = {}
+    for path in sorted(repro_dir.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(repro_dir).as_posix()
+        text = path.read_text()
+        sources[rel] = SourceFile(rel=rel, path=path, text=text, tree=ast.parse(text, str(path)))
+    if budgets_path is None:
+        budgets_path = _find_budgets(repro_dir)
+    return CheckContext(repro_dir=repro_dir, sources=sources, budgets_path=budgets_path)
+
+
+def run_check(
+    repro_dir: Path | None = None,
+    rules: Sequence[str] | None = None,
+    budgets_path: Path | None = None,
+) -> list[Finding]:
+    """Run the selected rules (all by default) and return sorted findings."""
+    if repro_dir is None:
+        repro_dir = default_repro_dir()
+    selected = list(RULES) if rules is None else list(rules)
+    unknown = [r for r in selected if r not in RULES]
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(unknown)} (have {', '.join(RULES)})")
+    ctx = build_context(Path(repro_dir), budgets_path=budgets_path)
+    findings: list[Finding] = []
+    for rule_id in selected:
+        _, run = RULES[rule_id]
+        findings.extend(run(ctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.key))
+    return findings

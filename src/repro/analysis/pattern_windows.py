@@ -27,7 +27,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WindowFractions:
     """Fraction of windows per category (sums to 1 when total > 0)."""
 

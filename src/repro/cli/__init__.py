@@ -23,7 +23,10 @@ command group:
   content-addressed results, ``gc`` for blob reclamation;
 * ``perf`` — the CI perf gate: emit a scaled-down profile artifact
   (``fig13``, ``cluster``, ``scenarios``, or ``control``) and compare
-  it against a committed baseline.
+  it against a committed baseline;
+* ``check`` (:mod:`repro.cli.check`) — the repo-specific static
+  analyzer: determinism, hot-path hygiene, engine parity, and counter
+  registry rules (R1-R4; see docs/static-analysis.md).
 
 Each group module registers its subcommands via ``add_parsers(sub)``
 and binds its handler with ``set_defaults(handler=...)``; ``main``
@@ -35,6 +38,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cli import check as _check
 from repro.cli import cluster as _cluster
 from repro.cli import control as _control
 from repro.cli import figures as _figures
@@ -57,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     _scenario.add_parsers(sub)
     _control.add_parsers(sub)
     _service.add_parsers(sub)
+    _check.add_parsers(sub)
 
     from repro.perf.__main__ import add_perf_arguments, run as perf_run
 

@@ -1,0 +1,112 @@
+"""``repro check`` — run the repo-specific static-analysis suite.
+
+Exit status: 0 when no (unsuppressed) findings, 1 when findings
+remain, 2 on usage errors (unknown rule id, unreadable baseline).
+
+``--write-baseline`` records the current findings as a reviewed
+suppression file; ``--baseline`` applies one.  Unused suppressions are
+reported (and fail the run with ``--strict-baseline``) so stale
+waivers get pruned once the underlying violation is fixed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import (
+    RULES,
+    apply_baseline,
+    load_baseline,
+    run_check,
+    write_baseline,
+)
+
+__all__ = ["add_parsers", "run"]
+
+
+def add_parsers(sub) -> None:
+    check = sub.add_parser(
+        "check",
+        help="run the repo-specific static-analysis rules (R1-R4)",
+        description="AST-based determinism/hygiene/parity/counter checks; "
+        "see docs/static-analysis.md for the rule catalog.",
+    )
+    check.add_argument(
+        "--rule",
+        action="append",
+        choices=sorted(RULES),
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    check.add_argument("--json", action="store_true", help="emit findings as JSON")
+    check.add_argument(
+        "--baseline",
+        type=Path,
+        help="suppression file of reviewed finding fingerprints",
+    )
+    check.add_argument(
+        "--write-baseline",
+        type=Path,
+        metavar="FILE",
+        help="write current findings as a baseline file and exit 0",
+    )
+    check.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail when the baseline carries suppressions nothing matches",
+    )
+    check.add_argument(
+        "--root",
+        type=Path,
+        help="repro package directory to analyze (default: the installed package)",
+    )
+    check.set_defaults(handler=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    try:
+        findings = run_check(repro_dir=args.root, rules=args.rule)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"wrote {len(findings)} suppression(s) to {args.write_baseline}")
+        return 0
+
+    unused: set[str] = set()
+    if args.baseline:
+        try:
+            suppressed = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        findings, unused = apply_baseline(findings, suppressed)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "unused_suppressions": sorted(unused),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        for fingerprint in sorted(unused):
+            print(f"note: unused baseline suppression: {fingerprint}")
+        if not findings:
+            rules = ", ".join(args.rule) if args.rule else ", ".join(RULES)
+            print(f"repro check: clean ({rules})")
+
+    if findings:
+        return 1
+    if unused and args.strict_baseline:
+        return 1
+    return 0

@@ -18,7 +18,7 @@ from typing import Mapping
 __all__ = ["BalancerSpec", "ControlSpec", "GovernorSpec"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GovernorSpec:
     """Tuning for the adaptive prefetcher governor.
 
@@ -91,7 +91,7 @@ class GovernorSpec:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BalancerSpec:
     """Tuning for the tenant memory balancer.
 
@@ -146,7 +146,7 @@ class BalancerSpec:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControlSpec:
     """The control-plane half of a scenario declaration."""
 

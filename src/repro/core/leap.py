@@ -31,7 +31,7 @@ from repro.sim.machine import Machine, MachineConfig, leap_config
 __all__ = ["Leap"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Leap:
     """Configuration façade for the complete Leap system."""
 

@@ -49,7 +49,7 @@ class CacheEntry:
         return self.consumed_at is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Counters for the cache-behaviour figures (9a, 10, 12)."""
 

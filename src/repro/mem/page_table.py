@@ -23,7 +23,7 @@ from typing import Iterable, Iterator
 __all__ = ["PageTableEntry", "PageTable"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableEntry:
     """State of one mapped virtual page."""
 

@@ -69,7 +69,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessMemory:
     """Per-process memory state (page table, cgroup, residency LRU)."""
 

@@ -22,13 +22,13 @@ from repro.metrics.latency import summarize
 __all__ = ["PrefetchMetrics"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _IssueRecord:
     issued_at: int
     arrival_at: int
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchMetrics:
     """Counters for one simulation run."""
 

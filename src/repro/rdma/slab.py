@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 __all__ = ["Slab", "PageLocation", "SlabAllocator"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageLocation:
     """Where one page lives remotely: a slab and a slot within it."""
 
@@ -34,7 +34,7 @@ class PageLocation:
         return self.slab_id * slab_capacity + self.slot
 
 
-@dataclass
+@dataclass(slots=True)
 class Slab:
     """One fixed-size chunk of remote memory mapped on one machine."""
 

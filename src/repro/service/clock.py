@@ -1,0 +1,43 @@
+"""The service layer's only window onto the wall clock.
+
+Simulated time lives entirely inside the machine model (`SimClock`,
+driver clocks, completion-queue deadlines) and must stay deterministic:
+`repro check` rule R1 forbids `time.time()`, `datetime.now()`, stdlib
+`random`, `uuid`, and `os.urandom` across the simulation packages.  The
+run service, however, legitimately needs host timestamps (job
+bookkeeping, artifact `stored_at`) and unique job ids.  Concentrating
+those two needs here keeps the R1 allowlist a single module: everything
+under `repro/` that wants wall-clock state imports `wall_time()` /
+`job_id()` from this file, and the analyzer flags any other call site.
+
+`time.monotonic()` / `time.sleep()` remain allowed everywhere in the
+service layer — they pace host-side polling loops and never leak into
+simulated results or stored payloads.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+
+__all__ = ["job_id", "wall_time"]
+
+
+def wall_time() -> float:
+    """Current wall-clock time in seconds (host bookkeeping only).
+
+    Values returned from here end up in job records and artifact
+    metadata (`submitted_at`, `stored_at`, ...) — never in simulated
+    metrics, which must stay byte-identical across runs.
+    """
+    return time.time()
+
+
+def job_id() -> str:
+    """A sortable-by-submission, collision-resistant job identifier.
+
+    Millisecond wall-clock prefix keeps directory listings in rough
+    submission order; the uuid4 suffix disambiguates same-millisecond
+    submissions from concurrent clients.
+    """
+    return f"{int(wall_time() * 1000):013d}-{uuid.uuid4().hex[:8]}"

@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import json
 import os
-import time
-import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
+
+from repro.service.clock import job_id, wall_time
 
 __all__ = ["JobQueue", "JobRecord"]
 
@@ -28,7 +28,7 @@ STATES = ("pending", "running", "done", "failed")
 
 def new_job_id() -> str:
     """Unique, time-sortable job id (FIFO claim order falls out of it)."""
-    return f"{int(time.time() * 1000):013d}-{uuid.uuid4().hex[:8]}"
+    return job_id()
 
 
 @dataclass
@@ -91,7 +91,7 @@ class JobQueue:
         if record.state not in STATES:
             raise ValueError(f"unknown job state {record.state!r}")
         if not record.submitted_at:
-            record.submitted_at = time.time()
+            record.submitted_at = wall_time()
         _write_json(self._job_path(record.state, record.id), record.to_dict())
         return record
 
@@ -110,7 +110,7 @@ class JobQueue:
                 continue  # another worker won this one
             record = JobRecord.from_dict(json.loads(target.read_text()))
             record.state = "running"
-            record.started_at = time.time()
+            record.started_at = wall_time()
             record.worker_pid = os.getpid()
             _write_json(target, record.to_dict())
             return record
@@ -118,7 +118,7 @@ class JobQueue:
 
     def _finish(self, record: JobRecord, state: str) -> JobRecord:
         record.state = state
-        record.finished_at = time.time()
+        record.finished_at = wall_time()
         final = self._job_path(state, record.id)
         _write_json(final, record.to_dict())
         running = self._job_path("running", record.id)

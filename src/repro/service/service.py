@@ -35,6 +35,7 @@ from repro.scenarios.runner import (
     sweep_cells,
 )
 from repro.scenarios.spec import Scenario
+from repro.service.clock import wall_time
 from repro.service.queue import JobQueue, JobRecord, new_job_id
 from repro.service.spec import ScenarioJob, SweepJob, job_from_dict
 from repro.service.store import ArtifactStore
@@ -72,7 +73,7 @@ class RunService:
         )
         if self.store.has(run_key):
             if self.store.verify(run_key):
-                now = time.time()
+                now = wall_time()
                 record.state = "done"
                 record.cache_hit = True
                 record.submitted_at = now

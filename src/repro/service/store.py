@@ -24,10 +24,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import time
 from pathlib import Path
 
 from repro.provenance import canonical_json
+from repro.service.clock import wall_time
 
 __all__ = ["ArtifactIntegrityError", "ArtifactStore", "StoreResult"]
 
@@ -83,7 +83,7 @@ class ArtifactStore:
             run_key=run_key,
             blob=blob,
             payload_bytes=len(blob_bytes),
-            stored_at=time.time(),
+            stored_at=wall_time(),
         )
         tmp = run_dir / f".meta.{os.getpid()}.tmp"
         tmp.write_text(json.dumps(full_meta, indent=2, sort_keys=True) + "\n")

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.analysis.sanitize import install_sanitizer, sanitize_enabled
 from repro.core.sharded_tracker import ShardedLeapTracker
 from repro.datapath.backends import DiskBackend, IOBackend, RemoteBackend
 from repro.datapath.base import DataPath
@@ -58,10 +59,10 @@ DATA_PATHS = ("legacy", "lean")
 MEDIA = ("remote", "cluster", "hdd", "ssd")
 PREFETCHERS = ("readahead", "stride", "next-n-line", "ghb", "leap", "none")
 EVICTIONS = ("lazy", "eager")
-ENGINES = ("object", "vectorized")
+ENGINES = ("object", "vectorized", "sanitize")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MachineConfig:
     """Full description of one simulated host."""
 
@@ -70,7 +71,11 @@ class MachineConfig:
     #: time through the staged pipeline; ``vectorized`` (requires
     #: numpy) feeds drivers columnar access blocks and classifies whole
     #: resident runs as array operations (:mod:`repro.kernel`).  Both
-    #: produce bit-identical simulated metrics.
+    #: produce bit-identical simulated metrics.  ``sanitize`` is the
+    #: object engine plus per-burst structural invariant checks
+    #: (:mod:`repro.analysis.sanitize`) — same metrics, debug-grade
+    #: speed; the ``REPRO_SANITIZE=1`` environment variable layers the
+    #: same checks on top of either engine instead.
     engine: str = "object"
     data_path: str = "legacy"
     medium: str = "remote"
@@ -109,6 +114,16 @@ class MachineConfig:
     ghb_degree: int = 4
     kswapd_period_ns: int = ms(50)
     kswapd_batch: int = 64
+
+    @property
+    def driver_engine(self) -> str:
+        """Burst-driver implementation behind ``engine``.
+
+        ``sanitize`` is the object driver with the invariant sweep
+        layered on the pipeline, so drivers dispatch on this value and
+        never see the sanitizer.
+        """
+        return "vectorized" if self.engine == "vectorized" else "object"
 
     def validate(self) -> None:
         if self.engine not in ENGINES:
@@ -209,6 +224,11 @@ class Machine:
             batch_prefetch=config.batch_prefetch,
             completion_queue=CompletionQueue(depth_limit=config.qp_depth_limit),
         )
+        if config.engine == "sanitize" or sanitize_enabled():
+            # Swap in the invariant-checking pipeline before any access
+            # runs; it is read-only, so simulated metrics stay
+            # byte-identical to the plain run (see analysis/sanitize).
+            install_sanitizer(self.vmm)
         self._next_core = 0
 
     # -- component factories -------------------------------------------------

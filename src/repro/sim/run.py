@@ -34,7 +34,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessSummary:
     """Outcome of one process's trace."""
 
@@ -61,7 +61,7 @@ class ProcessSummary:
         return total_ops * NS_PER_SEC / self.completion_ns
 
 
-@dataclass
+@dataclass(slots=True)
 class RunResult:
     """Everything a benchmark needs from one run."""
 

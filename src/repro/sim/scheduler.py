@@ -77,7 +77,7 @@ class CoreSummary:
         return self.busy_ns / makespan_ns
 
 
-@dataclass
+@dataclass(slots=True)
 class ConcurrentRunResult(RunResult):
     """A :class:`RunResult` plus the scheduler's core-level view."""
 
@@ -392,7 +392,7 @@ def simulate_concurrent(
             start_ns = max(start_ns, finish)
         machine.reset_measurements()
     drivers = [
-        make_driver(pid, workload, start_ns=start_ns, engine=machine.config.engine)
+        make_driver(pid, workload, start_ns=start_ns, engine=machine.config.driver_engine)
         for pid, workload in workloads.items()
     ]
     scheduler = ConcurrentScheduler(

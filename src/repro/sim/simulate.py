@@ -56,7 +56,7 @@ def simulate(
             start_ns = max(start_ns, finish)
         machine.reset_measurements()
     drivers = [
-        make_driver(pid, workload, start_ns=start_ns, engine=machine.config.engine)
+        make_driver(pid, workload, start_ns=start_ns, engine=machine.config.driver_engine)
         for pid, workload in workloads.items()
     ]
     return run_processes(machine, drivers, max_total_accesses=max_total_accesses)

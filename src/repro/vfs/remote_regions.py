@@ -32,7 +32,7 @@ VFS_CALL_OVERHEAD_NS = ns(1180)
 VFS_LEGACY_CACHE_NS = ns(400)
 
 
-@dataclass
+@dataclass(slots=True)
 class RegionStats:
     reads: int = 0
     writes: int = 0

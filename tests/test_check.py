@@ -1,0 +1,477 @@
+"""The static-analysis suite itself: rules R1-R4, baselines, CLI.
+
+Fixture trees are built in tmp_path mirroring the ``repro`` package
+layout (``sim/``, ``kernel/``, ...) with deliberately seeded
+violations per rule; the analyzer is pure AST so the fixtures never
+need to be importable.  The repo-clean tests pin the acceptance
+contract: ``repro check`` exits 0 on this tree.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    apply_baseline,
+    load_baseline,
+    run_check,
+    write_baseline,
+)
+from repro.cli import main as cli_main
+
+
+def make_tree(root: Path, files: dict[str, str]) -> Path:
+    pkg = root / "repro"
+    for rel, body in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body).lstrip("\n"))
+    return pkg
+
+
+# ---------------------------------------------------------------- R1
+
+
+class TestDeterminismRule:
+    def test_wall_clock_and_random_imports_flagged_in_sim_scope(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "sim/bad.py": """
+                import time
+                import random
+
+                def stamp():
+                    return time.time() + random.random()
+                """,
+            },
+        )
+        keys = {f.key for f in run_check(pkg, rules=["R1"])}
+        assert keys == {"import-time", "import-random"}
+
+    def test_rng_module_is_allowlisted(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "sim/rng.py": """
+                import random
+
+                class SimRandom:
+                    pass
+                """,
+            },
+        )
+        assert run_check(pkg, rules=["R1"]) == []
+
+    def test_service_wall_clock_flagged_outside_clock_module(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "service/handlers.py": """
+                import time
+
+                def submitted():
+                    return time.time()
+
+                def paced():
+                    return time.monotonic()
+                """,
+                "service/clock.py": """
+                import time
+                import uuid
+
+                def wall_time():
+                    return time.time()
+                """,
+            },
+        )
+        findings = run_check(pkg, rules=["R1"])
+        assert [f.key for f in findings] == ["call-time.time"]
+        assert findings[0].path == "service/handlers.py"
+
+    def test_set_iteration_flagged_and_sorted_exempt(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "mem/scan.py": """
+                def resolve(mapping, other):
+                    out = []
+                    for key in set(mapping) & set(other):
+                        out.append(key)
+                    return out
+
+                def resolve_sorted(mapping, other):
+                    return [k for k in sorted(set(mapping) & set(other))]
+
+                def count(mapping):
+                    return len({k for k in mapping})
+                """,
+            },
+        )
+        findings = run_check(pkg, rules=["R1"])
+        assert len(findings) == 1
+        assert findings[0].key.startswith("set-iteration")
+        assert findings[0].line == 3
+
+    def test_finding_carries_location_and_hint(self, tmp_path):
+        pkg = make_tree(tmp_path, {"kernel/x.py": "import time\n"})
+        (finding,) = run_check(pkg, rules=["R1"])
+        assert finding.rule == "R1"
+        assert finding.path == "kernel/x.py"
+        assert finding.line == 1
+        assert "SimRandom" in finding.hint
+        assert "kernel/x.py:1" in finding.format()
+
+
+# ---------------------------------------------------------------- R2
+
+
+class TestHygieneRule:
+    def test_unslotted_dataclass_flagged(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "mem/entry.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class Entry:
+                    vpn: int
+
+                @dataclass(frozen=True)
+                class Frozen:
+                    vpn: int
+
+                @dataclass(slots=True)
+                class Good:
+                    vpn: int
+                """,
+            },
+        )
+        keys = {f.key for f in run_check(pkg, rules=["R2"])}
+        assert keys == {"slots-Entry", "slots-Frozen"}
+
+    def test_kernel_loop_allocation_flagged(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "kernel/loop.py": """
+                def burst(items):
+                    acc = []
+                    for item in items:
+                        acc.append({"vpn": item})
+                    return acc
+
+                def hoisted(items):
+                    template = {"vpn": None}
+                    out = []
+                    for item in items:
+                        out.append(item)
+                    return out, template
+                """,
+            },
+        )
+        findings = run_check(pkg, rules=["R2"])
+        assert [f.key for f in findings] == ["loop-alloc-burst-Dict"]
+
+    def test_loop_allocation_only_checked_in_kernel(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "mem/loop.py": """
+                def scan(items):
+                    out = []
+                    for item in items:
+                        out.append({"vpn": item})
+                    return out
+                """,
+            },
+        )
+        assert run_check(pkg, rules=["R2"]) == []
+
+
+# ---------------------------------------------------------------- R3
+
+
+_PARITY_TREE = {
+    "sim/machine.py": """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True, slots=True)
+    class MachineConfig:
+        seed: int = 0
+        used_both: int = 1
+        object_only: int = 2
+        vectorized_only: int = 3
+        dead_knob: int = 4
+
+        def validate(self):
+            if self.dead_knob < 0:
+                raise ValueError("negative")
+
+    class Machine:
+        def __init__(self, config):
+            self.seed = config.seed
+            self.used = config.used_both
+    """,
+    "datapath/pipeline.py": """
+    def serve(config):
+        return config.object_only
+    """,
+    "kernel/engine.py": """
+    def classify(config):
+        return config.vectorized_only
+    """,
+}
+
+
+class TestParityRule:
+    def test_dead_and_one_sided_fields_flagged(self, tmp_path):
+        pkg = make_tree(tmp_path, _PARITY_TREE)
+        keys = {f.key for f in run_check(pkg, rules=["R3"])}
+        assert keys == {
+            "dead-dead_knob",
+            "one-sided-object_only",
+            "one-sided-vectorized_only",
+        }
+
+    def test_config_class_body_reads_do_not_count(self, tmp_path):
+        # validate() touches dead_knob via self, but that is the config
+        # class itself — the knob is still dead for both engines.
+        pkg = make_tree(tmp_path, _PARITY_TREE)
+        assert "dead-dead_knob" in {f.key for f in run_check(pkg, rules=["R3"])}
+
+    def test_shared_read_satisfies_both_engines(self, tmp_path):
+        tree = dict(_PARITY_TREE)
+        tree["sim/run.py"] = """
+        def run(machine):
+            return machine.config.dead_knob + machine.config.object_only \\
+                + machine.config.vectorized_only
+        """
+        pkg = make_tree(tmp_path, tree)
+        assert run_check(pkg, rules=["R3"]) == []
+
+
+# ---------------------------------------------------------------- R4
+
+
+_COUNTER_TREE = {
+    "metrics/counters.py": """
+    from dataclasses import dataclass
+
+    @dataclass(slots=True)
+    class PrefetchMetrics:
+        faults: int = 0
+        hidden: int = 0
+
+        def as_dict(self):
+            return {"faults": self.faults}
+    """,
+    "rdma/qp.py": """
+    class QueueStats:
+        def __init__(self):
+            self.operations = 0
+            self.orphaned = 0
+    """,
+    "cluster/server.py": """
+    def stats_row(server):
+        return {"ops": server.stats.operations}
+    """,
+}
+
+_BUDGETS = "# Budgets\n\ncounters: `faults`, `operations`.\n"
+
+
+class TestCounterRule:
+    def test_unexported_unsurfaced_undocumented_flagged(self, tmp_path):
+        pkg = make_tree(tmp_path, _COUNTER_TREE)
+        budgets = tmp_path / "PERF_BUDGETS.md"
+        budgets.write_text(_BUDGETS)
+        keys = {f.key for f in run_check(pkg, rules=["R4"], budgets_path=budgets)}
+        assert keys == {
+            "unexported-PrefetchMetrics.hidden",
+            "unsurfaced-QueueStats.orphaned",
+            "undocumented-PrefetchMetrics.hidden",
+            "undocumented-QueueStats.orphaned",
+        }
+
+    def test_missing_budgets_is_a_finding(self, tmp_path):
+        pkg = make_tree(tmp_path, _COUNTER_TREE)
+        keys = {f.key for f in run_check(pkg, rules=["R4"], budgets_path=None)}
+        assert "missing-budgets" in keys
+
+    def test_clean_counter_tree(self, tmp_path):
+        tree = dict(_COUNTER_TREE)
+        tree["metrics/counters.py"] = """
+        from dataclasses import dataclass
+
+        @dataclass(slots=True)
+        class PrefetchMetrics:
+            faults: int = 0
+
+            def as_dict(self):
+                return {"faults": self.faults}
+        """
+        tree["rdma/qp.py"] = """
+        class QueueStats:
+            def __init__(self):
+                self.operations = 0
+        """
+        pkg = make_tree(tmp_path, tree)
+        budgets = tmp_path / "PERF_BUDGETS.md"
+        budgets.write_text(_BUDGETS)
+        assert run_check(pkg, rules=["R4"], budgets_path=budgets) == []
+
+
+# ------------------------------------------------------- runner / CLI
+
+
+class TestRunner:
+    def test_clean_tree_has_zero_findings(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "sim/run.py": """
+                def run(machine):
+                    return machine.step()
+                """,
+            },
+        )
+        assert run_check(pkg) == []
+
+    def test_repo_is_clean(self):
+        # The acceptance contract: the analyzer's own repo passes all
+        # four rules with no baseline.
+        assert run_check() == []
+
+    def test_unknown_rule_rejected(self, tmp_path):
+        pkg = make_tree(tmp_path, {"sim/run.py": "X = 1\n"})
+        with pytest.raises(ValueError, match="unknown rule"):
+            run_check(pkg, rules=["R9"])
+
+    def test_findings_sorted_and_rule_filter(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "sim/z.py": "import time\n",
+                "mem/a.py": "import random\n",
+            },
+        )
+        findings = run_check(pkg, rules=["R1"])
+        assert [f.path for f in findings] == ["mem/a.py", "sim/z.py"]
+        assert run_check(pkg, rules=["R2"]) == []
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_and_reports_unused(self, tmp_path):
+        pkg = make_tree(tmp_path, {"sim/bad.py": "import time\n"})
+        findings = run_check(pkg, rules=["R1"])
+        assert findings
+
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings)
+        suppressed = load_baseline(baseline)
+        kept, unused = apply_baseline(findings, suppressed)
+        assert kept == [] and unused == set()
+
+        # Fixing the violation leaves the suppression stale.
+        (pkg / "sim/bad.py").write_text("X = 1\n")
+        kept, unused = apply_baseline(run_check(pkg, rules=["R1"]), suppressed)
+        assert kept == [] and unused == {"R1:sim/bad.py:import-time"}
+
+    def test_new_violation_not_suppressed_by_old_baseline(self, tmp_path):
+        pkg = make_tree(tmp_path, {"sim/bad.py": "import time\n"})
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, run_check(pkg, rules=["R1"]))
+        (pkg / "sim/worse.py").write_text("import random\n")
+        kept, _ = apply_baseline(run_check(pkg, rules=["R1"]), load_baseline(baseline))
+        assert [f.key for f in kept] == ["import-random"]
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+class TestCheckCli:
+    def test_repo_check_exits_zero(self, capsys):
+        assert cli_main(["check"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_output_on_repo(self, capsys):
+        assert cli_main(["check", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["findings"] == []
+
+    def test_findings_exit_one_with_location(self, tmp_path, capsys):
+        pkg = make_tree(tmp_path, {"sim/bad.py": "import time\n"})
+        assert cli_main(["check", "--root", str(pkg), "--rule", "R1"]) == 1
+        out = capsys.readouterr().out
+        assert "sim/bad.py:1: R1" in out and "hint:" in out
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        pkg = make_tree(tmp_path, {"sim/bad.py": "import time\n"})
+        baseline = tmp_path / "baseline.json"
+        root = ["check", "--root", str(pkg), "--rule", "R1"]
+        assert cli_main(root + ["--write-baseline", str(baseline)]) == 0
+        assert cli_main(root + ["--baseline", str(baseline)]) == 0
+        # Stale suppressions flip the exit only under --strict-baseline.
+        (pkg / "sim/bad.py").write_text("X = 1\n")
+        assert cli_main(root + ["--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert cli_main(root + ["--baseline", str(baseline), "--strict-baseline"]) == 1
+        assert "unused baseline suppression" in capsys.readouterr().out
+
+    def test_rule_catalog_matches_registry(self):
+        assert sorted(RULES) == ["R1", "R2", "R3", "R4"]
+
+
+# ------------------------------------------- compare byte-stability
+
+
+def _compare_artifact(**overrides) -> dict:
+    apps = {
+        "powergraph": {"p50_us": 2.0, "p95_us": 10.0, "completion_s": 1.0, "faults": 7},
+        "numpy": {"p50_us": 1.0, "p95_us": 4.0, "completion_s": 0.5, "faults": 3},
+    }
+    for name, row in overrides.items():
+        apps[name].update(row)
+    return {
+        "schema": 1,
+        "profile": "fig13",
+        "apps": apps,
+        "servers": {"0": {"p95_us": 3.0, "reads": 11}, "1": {"p95_us": 5.0, "reads": 13}},
+    }
+
+
+class TestCompareByteStability:
+    def test_compare_output_identical_across_hash_seeds(self, tmp_path):
+        """`repro perf compare` output is byte-stable: the metric-key
+        intersection it prints is sorted, never hash-ordered."""
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(_compare_artifact()))
+        new.write_text(
+            json.dumps(_compare_artifact(powergraph={"p95_us": 12.0}, numpy={"faults": 5}))
+        )
+
+        outputs = []
+        for hash_seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.perf", "compare"]
+                + [str(old), str(new), "--all-metrics"],
+                capture_output=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        assert b"p95_us" in outputs[0]
