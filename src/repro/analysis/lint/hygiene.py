@@ -39,6 +39,7 @@ HOT_SCOPE = (
     "analysis/",
     "storage/",
     "vfs/",
+    "obs/",
 )
 
 _LOOP_ALLOC_NODES = (ast.Dict, ast.Set, ast.DictComp, ast.SetComp, ast.Lambda)

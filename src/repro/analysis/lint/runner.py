@@ -12,7 +12,7 @@ import ast
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.analysis.lint import counters, determinism, hygiene, parity
+from repro.analysis.lint import counters, determinism, hygiene, parity, tracing
 from repro.analysis.lint.base import CheckContext, Finding, SourceFile
 
 __all__ = ["RULES", "build_context", "default_repro_dir", "run_check"]
@@ -23,6 +23,7 @@ RULES: dict[str, tuple[str, Callable[[CheckContext], list[Finding]]]] = {
     hygiene.RULE_ID: (hygiene.TITLE, hygiene.run),
     parity.RULE_ID: (parity.TITLE, parity.run),
     counters.RULE_ID: (counters.TITLE, counters.run),
+    tracing.RULE_ID: (tracing.TITLE, tracing.run),
 }
 
 

@@ -1,0 +1,181 @@
+"""R5 — trace emit discipline: registered names, guarded kernel emits.
+
+Two contracts keep the tracing layer (:mod:`repro.obs`) deterministic
+and free on the hot path:
+
+* **Registered names** — every ``tracer.span/instant/counter`` call
+  site must name its event with an UPPER_CASE constant imported from
+  ``obs/names.py`` (the single registry that defines the id → label
+  table recordings serialize).  A string literal or ad-hoc expression
+  would mint an id outside the registry, so two recordings could give
+  one label different ids — and ``repro obs diff`` would silently
+  compare different stages.
+* **Guarded kernel emits** — inside ``kernel/`` burst loops an emit
+  must sit under an ``if <tracer>.enabled:`` guard.  The emit methods
+  early-return when disabled, but the call itself (argument evaluation
+  + dispatch) is per-iteration overhead in exactly the loops the
+  engine-A/B wall-clock ratio tracks; the guard makes the disabled
+  cost one attribute load.
+
+An *emit call* is any ``.span(...)``/``.instant(...)``/``.counter(...)``
+whose receiver's dotted name ends in ``tracer`` (``self.tracer``,
+``vmm.tracer``, a local ``tracer``, ...) — the naming convention the
+wiring uses everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.base import CheckContext, Finding, dotted_name
+
+RULE_ID = "R5"
+TITLE = "trace emit discipline (names from obs/names.py, guarded kernel emits)"
+
+#: The emit methods of repro.obs.trace.TraceCollector.
+EMIT_METHODS = ("span", "instant", "counter")
+
+#: The registry module, relative to the package dir.
+NAMES_MODULE = "obs/names.py"
+
+
+def _registry_constants(ctx: CheckContext) -> set[str] | None:
+    """UPPER_CASE constants ``obs/names.py`` assigns from ``_name(...)``.
+
+    Returns None when the tree has no registry module (fixture trees
+    without an obs layer skip the membership check but still ban
+    literals).
+    """
+    src = ctx.sources.get(NAMES_MODULE)
+    if src is None:
+        return None
+    constants: set[str] = set()
+    for node in src.tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name) or not target.id.isupper():
+            continue
+        value = node.value
+        if isinstance(value, ast.Call) and dotted_name(value.func) == "_name":
+            constants.add(target.id)
+    return constants
+
+
+def _emit_call(node: ast.AST) -> tuple[str, str] | None:
+    """(receiver, method) when *node* is a tracer emit call, else None."""
+    if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+        return None
+    if node.func.attr not in EMIT_METHODS:
+        return None
+    receiver = dotted_name(node.func.value)
+    if receiver is None or not receiver.split(".")[-1].endswith("tracer"):
+        return None
+    return receiver, node.func.attr
+
+
+def _name_arg_key(arg: ast.AST) -> tuple[str | None, str]:
+    """(constant name or None, description) for an emit's name argument."""
+    if isinstance(arg, ast.Name):
+        return arg.id, arg.id
+    if isinstance(arg, ast.Attribute):
+        # names.FAULT_MAP style: validate the final attribute.
+        return arg.attr, dotted_name(arg) or arg.attr
+    if isinstance(arg, ast.Constant):
+        return None, repr(arg.value)
+    return None, type(arg).__name__
+
+
+def _name_findings(
+    rel: str, tree: ast.Module, registry: set[str] | None
+) -> list[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        emit = _emit_call(node)
+        if emit is None:
+            continue
+        _, method = emit
+        if not node.args:
+            continue  # a signature error pytest catches; not R5's business
+        constant, described = _name_arg_key(node.args[0])
+        ok = (
+            constant is not None
+            and constant.isupper()
+            and (registry is None or constant in registry)
+        )
+        if not ok:
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=rel,
+                    line=node.lineno,
+                    message=f"tracer.{method}() name {described} is not a "
+                    f"registered constant from {NAMES_MODULE}",
+                    hint="add the event to obs/names.py and pass the "
+                    "UPPER_CASE constant (never a string literal)",
+                    key=f"emit-name-{method}-{described}",
+                )
+            )
+    return findings
+
+
+def _guard_test_enables(test: ast.AST) -> bool:
+    """True when an ``if`` test checks a tracer's ``enabled`` flag."""
+    if isinstance(test, ast.BoolOp):
+        return any(_guard_test_enables(value) for value in test.values)
+    name = dotted_name(test)
+    return name is not None and name.endswith(".enabled")
+
+
+def _kernel_guard_findings(rel: str, tree: ast.Module) -> list[Finding]:
+    findings = []
+
+    def visit(node: ast.AST, in_loop: bool, guarded: bool, func: str) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = node.name
+            in_loop = False
+            guarded = False
+        emit = _emit_call(node)
+        if emit is not None and in_loop and not guarded:
+            receiver, method = emit
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=rel,
+                    line=node.lineno,
+                    message=f"unguarded {receiver}.{method}() inside a kernel "
+                    f"burst loop (in {func})",
+                    hint="wrap the emit in `if <tracer>.enabled:` so the "
+                    "disabled cost is one attribute load",
+                    key=f"unguarded-emit-{func}-{method}",
+                )
+            )
+        if isinstance(node, ast.If) and _guard_test_enables(node.test):
+            for child in node.body:
+                visit(child, in_loop, True, func)
+            for child in node.orelse:
+                visit(child, in_loop, guarded, func)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            for child in node.body:
+                visit(child, True, guarded, func)
+            for child in node.orelse:
+                visit(child, in_loop, guarded, func)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_loop, guarded, func)
+
+    visit(tree, False, False, "<module>")
+    return findings
+
+
+def run(ctx: CheckContext) -> list[Finding]:
+    registry = _registry_constants(ctx)
+    findings: list[Finding] = []
+    for rel, src in ctx.sources.items():
+        if rel == NAMES_MODULE:
+            continue
+        findings.extend(_name_findings(rel, src.tree, registry))
+        if rel.startswith("kernel/"):
+            findings.extend(_kernel_guard_findings(rel, src.tree))
+    return findings

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Eight commands cover the common interactive uses, one module per
+Nine commands cover the common interactive uses, one module per
 command group:
 
 * ``compare`` / ``run`` / ``figures`` (:mod:`repro.cli.figures`) — the
@@ -24,6 +24,11 @@ command group:
 * ``perf`` — the CI perf gate: emit a scaled-down profile artifact
   (``fig13``, ``cluster``, ``scenarios``, or ``control``) and compare
   it against a committed baseline;
+* ``obs`` (:mod:`repro.cli.obs`) — deterministic run tracing:
+  ``record`` a traced fig13/scenario run (byte-identical payloads to
+  untraced runs), ``export`` to Perfetto JSON or columnar ``.npz``,
+  ``top`` for per-stage fault-time attribution, ``timeline`` for the
+  raw event stream, ``diff`` for stage-level deltas;
 * ``check`` (:mod:`repro.cli.check`) — the repo-specific static
   analyzer: determinism, hot-path hygiene, engine parity, and counter
   registry rules (R1-R4; see docs/static-analysis.md).
@@ -42,6 +47,7 @@ from repro.cli import check as _check
 from repro.cli import cluster as _cluster
 from repro.cli import control as _control
 from repro.cli import figures as _figures
+from repro.cli import obs as _obs
 from repro.cli import scenario as _scenario
 from repro.cli import service as _service
 from repro.cli.common import SYSTEMS, WORKLOADS
@@ -61,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     _scenario.add_parsers(sub)
     _control.add_parsers(sub)
     _service.add_parsers(sub)
+    _obs.add_parsers(sub)
     _check.add_parsers(sub)
 
     from repro.perf.__main__ import add_perf_arguments, run as perf_run

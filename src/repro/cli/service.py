@@ -63,6 +63,10 @@ def add_parsers(sub) -> None:
                         help="scenario access budget (named scenarios only)")
     submit.add_argument("--pool", type=int, default=2,
                         help="worker processes a sweep fans cells across")
+    submit.add_argument("--trace", action="store_true",
+                        help="record a deterministic trace (scenario jobs "
+                        "only), stored as a content-addressed extra; fetch "
+                        "with `service result --trace-out`")
     submit.add_argument("--wait", action="store_true",
                         help="poll until the job finishes (needs a running worker)")
     submit.add_argument("--timeout", type=float, default=600.0,
@@ -86,6 +90,12 @@ def add_parsers(sub) -> None:
         "--artifact",
         metavar="FILE",
         help="also write a BENCH-shaped artifact for `repro perf compare`",
+    )
+    result.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the stored trace recording (submitted with --trace) "
+        "for `repro obs top|export|diff`",
     )
     _root_argument(result)
     result.set_defaults(handler=_result)
@@ -127,6 +137,11 @@ def _build_spec(args: argparse.Namespace):
 
     scenarios = [_load_scenario_arg(token) for token in args.scenarios]
     if args.sweep:
+        if args.trace:
+            raise ValueError(
+                "--trace applies to scenario jobs only (a sweep's cells "
+                "run in pool workers; record one cell as a scenario job)"
+            )
         prefetchers = (
             [p for p in args.prefetchers.split(",") if p]
             if args.prefetchers
@@ -157,6 +172,7 @@ def _build_spec(args: argparse.Namespace):
         prefetcher=args.prefetchers or None,
         wss_pages=args.wss_pages,
         total_accesses=args.accesses,
+        trace=args.trace,
     )
 
 
@@ -240,6 +256,22 @@ def _result(args: argparse.Namespace) -> int:
             json.dumps(payload_to_artifact(meta, payload), indent=2, sort_keys=True)
             + "\n"
         )
+        if not args.json:
+            print(f"wrote {path}")
+    if args.trace_out:
+        from repro.provenance import canonical_json
+
+        try:
+            recording = service.store.get_extra(meta["run_key"], "trace")
+        except (KeyError, ArtifactIntegrityError) as error:
+            print(
+                f"error: {error} (was the job submitted with --trace?)",
+                file=sys.stderr,
+            )
+            return 2
+        path = Path(args.trace_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(canonical_json(recording) + "\n")
         if not args.json:
             print(f"wrote {path}")
     if args.json:

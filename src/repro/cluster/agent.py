@@ -23,6 +23,7 @@ Extends the flat :class:`repro.rdma.agent.HostAgent` in four ways:
 from __future__ import annotations
 
 from repro.cluster.server import MemoryServer, page_fingerprint
+from repro.obs.names import CLUSTER_DISPATCH, core_track
 from repro.rdma.agent import HostAgent, RemotePageLostError
 from repro.rdma.network import RdmaFabric
 from repro.rdma.qp import Submission
@@ -105,6 +106,10 @@ class ClusterHostAgent(HostAgent):
         target = self._server_for_read(slab, server)
         self.reads += 1
         target.reads += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                CLUSTER_DISPATCH, core_track(core), now, target.machine_id
+            )
         host = self._queue_for(core).submit(
             now, service_ns=self.fabric.service_time_ns(), fabric_ns=0
         )

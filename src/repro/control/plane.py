@@ -20,6 +20,7 @@ from repro.control.balancer import TenantMemoryBalancer
 from repro.control.governor import PolicyGovernor, SwappablePrefetcher
 from repro.control.spec import ControlSpec
 from repro.control.telemetry import TelemetrySampler
+from repro.obs.names import CONTROL_REBALANCE, CONTROL_SWAP, TRACK_MACHINE
 from repro.sim.units import ms
 
 __all__ = ["ControlPlane"]
@@ -63,10 +64,21 @@ class ControlPlane:
     def __call__(self, at_ns: int, scheduler) -> None:
         """One control epoch: sample, then govern and rebalance."""
         sample = self.sampler.sample(at_ns, scheduler.drivers)
+        tracer = self.machine.tracer
         if self.governor is not None:
+            seen = len(self.governor.decisions)
             self.governor.on_epoch(sample)
+            if tracer.enabled:
+                for decision in self.governor.decisions[seen:]:
+                    tracer.instant(CONTROL_SWAP, TRACK_MACHINE, at_ns, decision.pid)
         if self.balancer is not None:
+            seen = len(self.balancer.moves)
             self.balancer.on_epoch(sample)
+            if tracer.enabled:
+                for move in self.balancer.moves[seen:]:
+                    tracer.instant(
+                        CONTROL_REBALANCE, TRACK_MACHINE, at_ns, move.pages
+                    )
         at_ms = round(sample.epoch * self.spec.epoch_ms, 6)
         tenants = {}
         for pid in sorted(sample.tenants):

@@ -108,6 +108,18 @@ class TelemetrySampler:
         self._cursors: dict[int, _DriverCursor] = {}
         self._metrics_prev = (0, 0, 0, 0)
         self._epoch = 0
+        self.observers: list = []
+
+    def subscribe(self, observer) -> None:
+        """Register a per-epoch observer (``on_sample(EpochSample)``).
+
+        Sampling consumes the counter deltas it reports, so a run must
+        have exactly one sampler; anything else that wants epoch
+        windows (the obs layer's ``MetricsTimeseries``) subscribes
+        here and shares each sample instead of double-reading the
+        counters.
+        """
+        self.observers.append(observer)
 
     def sample(self, at_ns: int, drivers) -> EpochSample:
         """Reduce everything since the last call to one :class:`EpochSample`."""
@@ -145,7 +157,7 @@ class TelemetrySampler:
             now - prev for now, prev in zip(current, self._metrics_prev)
         )
         self._metrics_prev = current
-        return EpochSample(
+        sample = EpochSample(
             epoch=self._epoch,
             at_ns=at_ns,
             tenants=tenants,
@@ -154,3 +166,6 @@ class TelemetrySampler:
             evicted_unused=unused,
             faults=faults,
         )
+        for observer in self.observers:
+            observer.on_sample(sample)
+        return sample

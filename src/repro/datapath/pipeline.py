@@ -49,6 +49,17 @@ from dataclasses import dataclass
 
 from repro.datapath.stages import CACHE_LOOKUP_NS
 from repro.mem.page import Page, PageFlags, PageKey
+from repro.obs.names import (
+    CQ_BACKPRESSURE,
+    FAULT_ALLOC_WAIT,
+    FAULT_CACHE_HIT,
+    FAULT_CACHE_LOOKUP,
+    FAULT_COMPLETE_WAIT,
+    FAULT_MAP,
+    FAULT_MINOR,
+    FAULT_READ_WAIT,
+    core_track,
+)
 from repro.rdma.completion import CompletionQueue, InflightKind
 
 __all__ = [
@@ -165,6 +176,8 @@ class FaultPipeline:
             vmm._map_page(process, vpn, now, dirty=True)
             process.materialized.add(vpn)
             vmm.metrics.record_minor_fault()
+            if vmm.tracer.enabled:
+                vmm.tracer.span(FAULT_MINOR, core_track(process.core), now, latency)
             return vmm._record(AccessOutcome(AccessKind.MINOR_FAULT, latency, key))
 
         # Stage 2: cache lookup.
@@ -186,15 +199,29 @@ class FaultPipeline:
             kind = AccessKind.CACHE_HIT
             latency = vmm.data_path.cache_hit_ns()
             vmm.cache.stats.ready_hits += 1
+            if vmm.tracer.enabled:
+                vmm.tracer.span(
+                    FAULT_CACHE_HIT, core_track(process.core), now, latency
+                )
         else:
             # Coalesce: the fault attaches to the in-flight read and
             # blocks for the remainder of its arrival deadline — it is
             # never re-issued (stage 3 is skipped entirely).
             kind = AccessKind.CACHE_HIT_INFLIGHT
-            latency = CACHE_LOOKUP_NS + (page.arrival_time - now) + MAP_COST_NS
+            complete_wait = page.arrival_time - now
+            latency = CACHE_LOOKUP_NS + complete_wait + MAP_COST_NS
             vmm.cache.stats.inflight_hits += 1
             self.cq.attach(key, now)
             vmm.metrics.record_coalesced()
+            if vmm.tracer.enabled:
+                track = core_track(process.core)
+                vmm.tracer.span(FAULT_CACHE_LOOKUP, track, now, CACHE_LOOKUP_NS)
+                vmm.tracer.span(
+                    FAULT_COMPLETE_WAIT, track, now + CACHE_LOOKUP_NS, complete_wait
+                )
+                vmm.tracer.span(
+                    FAULT_MAP, track, now + CACHE_LOOKUP_NS + complete_wait, MAP_COST_NS
+                )
         # Stage 5: map.  The entry's cache charge transfers to the
         # resident mapping (_map_page re-charges); consumed entries
         # never uncharge in the free callback, so this is the single
@@ -228,6 +255,21 @@ class FaultPipeline:
         allocation_wait = vmm.reclaimer.allocation_wait_ns(now)
         timing = vmm.data_path.demand_read(key, now, process.core)
         latency = CACHE_LOOKUP_NS + allocation_wait + timing.total_ns
+        if vmm.tracer.enabled:
+            # The major-fault decomposition: these three spans sum to
+            # exactly `latency`, so `repro obs top` attributes every
+            # recorded fault nanosecond to a named stage.
+            track = core_track(process.core)
+            vmm.tracer.span(FAULT_CACHE_LOOKUP, track, now, CACHE_LOOKUP_NS)
+            vmm.tracer.span(
+                FAULT_ALLOC_WAIT, track, now + CACHE_LOOKUP_NS, allocation_wait
+            )
+            vmm.tracer.span(
+                FAULT_READ_WAIT,
+                track,
+                now + CACHE_LOOKUP_NS + allocation_wait,
+                timing.total_ns,
+            )
         self.cq.issue(key, InflightKind.DEMAND, process.core, now, now + timing.total_ns)
         vmm.metrics.note_inflight_depth(len(self.cq))
         vmm._map_page(process, vpn, now, dirty=is_write)
@@ -296,6 +338,8 @@ class FaultPipeline:
                     # QP saturated: backpressure the rest of the round.
                     self.cq.record_rejection()
                     vmm.metrics.record_backpressure()
+                    if vmm.tracer.enabled:
+                        vmm.tracer.instant(CQ_BACKPRESSURE, core_track(core), now)
                     break
             try:
                 target = self._admit_prefetch(candidate, accepted, now)

@@ -41,6 +41,7 @@ import heapq
 import numpy as np
 
 from repro.datapath.pipeline import FAULT_KINDS, AccessKind
+from repro.obs.names import KERNEL_RESIDENT_RUN, KERNEL_WINDOW, core_track
 
 __all__ = [
     "leading_resident",
@@ -165,6 +166,7 @@ def step_burst_columnar(
     pipeline_access = pipeline.access
     pid = driver.pid
     lookahead = driver._lookahead
+    tracer = vmm.tracer
     executed = 0
     resident_total = 0
     while True:
@@ -220,6 +222,13 @@ def step_burst_columnar(
         if pipeline.next_scan_due <= end:
             _fire_scans_in_run(pipeline, cum, n)
         _apply_resident_run(page_table, resident_lru, vpns[:n], writes[:n])
+        if tracer.enabled:
+            tracer.span(
+                KERNEL_RESIDENT_RUN,
+                core_track(pipeline.process(pid).core),
+                clock.now,
+                end - clock.now,
+            )
         clock.advance_to(end)
         resident_total += n
         driver.accesses += n
@@ -363,11 +372,14 @@ class ConcurrentResidentWindow:
             self._skip = self._cooldown
             return 0
         self._cooldown = 0
+        tracer = self.vmm.tracer
         for state, vpns, writes, n, end in plans:
             driver, page_table, resident_lru = state[0], state[1], state[2]
             core = scheduler.cores[core_of[driver.pid]]
             start = driver.clock.now
             _apply_resident_run(page_table, resident_lru, vpns[:n], writes[:n])
+            if tracer.enabled:
+                tracer.span(KERNEL_WINDOW, core_track(core.core_id), start, end - start)
             driver.clock.advance_to(end)
             driver.kind_counts[AccessKind.RESIDENT] += n
             driver.accesses += n

@@ -55,6 +55,7 @@ from repro.mem.page_table import PageTable
 from repro.mem.reclaim import KswapdReclaimer
 from repro.metrics.counters import PrefetchMetrics
 from repro.metrics.latency import LatencyRecorder
+from repro.obs.trace import NULL_TRACER
 from repro.prefetchers.base import Prefetcher
 from repro.rdma.completion import CompletionQueue
 
@@ -104,6 +105,7 @@ class VirtualMemoryManager:
         recorder: LatencyRecorder | None = None,
         batch_prefetch: bool = True,
         completion_queue: CompletionQueue | None = None,
+        tracer=None,
     ) -> None:
         self.data_path = data_path
         self.cache = cache
@@ -111,6 +113,9 @@ class VirtualMemoryManager:
         self.prefetcher = prefetcher
         self.metrics = metrics if metrics is not None else PrefetchMetrics()
         self.recorder = recorder
+        #: Trace sink the fault pipeline and burst engines emit into
+        #: (the machine's collector; NULL_TRACER for bare VMMs).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Submit a prefetch window through the data path as one sweep
         #: (one software-stage traversal for the whole window) instead
         #: of one full traversal per page.

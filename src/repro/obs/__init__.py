@@ -1,0 +1,35 @@
+"""Deterministic observability: tracing, timeseries, and exporters.
+
+The obs layer watches a run without perturbing it.  A
+:class:`~repro.obs.trace.TraceCollector` (one per machine, disabled by
+default) receives span/instant/counter events from every
+instrumented layer — fault-pipeline stages, completion-queue traffic,
+vectorized-kernel burst boundaries, scheduler bursts and migrations,
+cluster dispatch/failure/recovery, and control-plane decisions — into
+preallocated columnar buffers keyed by the central name registry
+(:mod:`repro.obs.names`, enforced by lint rule R5).  A
+:class:`~repro.obs.timeseries.MetricsTimeseries` snapshots the R4
+counter registry once per epoch through the shared telemetry sampler.
+:class:`~repro.obs.record.RunRecorder` ties both to one run and
+freezes them into a recording document that
+:mod:`repro.obs.export` turns into Perfetto ``trace_event`` JSON or a
+columnar ``.npz``.
+
+The contract throughout: a traced run is byte-identical to an
+untraced run on both burst engines (``tests/test_obs.py``), because
+collection is pure observation in sim time.
+"""
+
+from repro.obs.record import RunRecorder, attribution_rows, load_recording
+from repro.obs.timeseries import MetricsTimeseries
+from repro.obs.trace import NULL_TRACER, NullTracer, TraceCollector
+
+__all__ = [
+    "MetricsTimeseries",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunRecorder",
+    "TraceCollector",
+    "attribution_rows",
+    "load_recording",
+]

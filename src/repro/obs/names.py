@@ -1,0 +1,105 @@
+"""Central span/instant/counter name registry for the tracing layer.
+
+Every :class:`~repro.obs.trace.TraceCollector` emit site must name its
+event with one of the UPPER_CASE constants defined here — lint rule R5
+(``repro check``, :mod:`repro.analysis.lint.tracing`) rejects string
+literals and names defined anywhere else.  Centralizing the names keeps
+exports stable (the Perfetto/`.npz` name tables are built from this
+module), keeps `repro obs top`'s stage attribution exhaustive, and
+makes renames a one-line diff.
+
+Names are interned to small integers at import time; the hot emit
+paths record only the integer, and exporters resolve it back through
+:data:`NAMES`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NAMES",
+    "STAGE_NAMES",
+    "TRACK_MACHINE",
+    "core_track",
+    "track_label",
+]
+
+_NAMES: list[str] = []
+
+
+def _name(label: str) -> int:
+    """Intern *label*, returning its stable integer id."""
+    _NAMES.append(label)
+    return len(_NAMES) - 1
+
+
+# -- fault-pipeline stage spans (the `repro obs top` attribution set) --
+# Every nanosecond of recorded fault latency decomposes exactly into
+# these spans: MAJOR = cache_lookup + alloc_wait + read_wait;
+# inflight hit = cache_lookup + complete_wait + map; ready hit =
+# cache_hit.  Minor faults are traced separately (FAULT_MINOR) and are
+# excluded from the recorder-population denominator, mirroring
+# LatencyRecorder's FAULT_KINDS.
+FAULT_CACHE_LOOKUP = _name("fault.cache_lookup")
+FAULT_ALLOC_WAIT = _name("fault.alloc_wait")
+FAULT_READ_WAIT = _name("fault.read_wait")
+FAULT_COMPLETE_WAIT = _name("fault.complete_wait")
+FAULT_MAP = _name("fault.map")
+FAULT_CACHE_HIT = _name("fault.cache_hit")
+FAULT_MINOR = _name("fault.minor_alloc_wait")
+
+# -- completion-queue events --
+CQ_ARRIVAL = _name("cq.arrival")
+CQ_COALESCE = _name("cq.coalesce")
+CQ_BACKPRESSURE = _name("cq.backpressure")
+CQ_DEPTH = _name("cq.depth")
+
+# -- vectorized-kernel burst boundaries --
+KERNEL_RESIDENT_RUN = _name("kernel.resident_run")
+KERNEL_WINDOW = _name("kernel.window")
+
+# -- scheduler events --
+SCHED_BURST = _name("sched.burst")
+SCHED_MIGRATE = _name("sched.migrate")
+SCHED_EPOCH = _name("sched.epoch")
+SCHED_TIMELINE = _name("sched.timeline")
+
+# -- cluster events --
+CLUSTER_DISPATCH = _name("cluster.dispatch")
+CLUSTER_FAIL = _name("cluster.fail")
+CLUSTER_RECOVER = _name("cluster.recover")
+
+# -- control-plane decisions --
+CONTROL_SWAP = _name("control.swap")
+CONTROL_REBALANCE = _name("control.rebalance")
+
+#: name-id -> label, indexed by the interned integer.
+NAMES: tuple[str, ...] = tuple(_NAMES)
+
+#: The span names `repro obs top` sums as "attributed fault time".
+#: Their durations partition the LatencyRecorder's FAULT_KINDS samples
+#: exactly (see the stage-span block comment above).
+STAGE_NAMES: frozenset[int] = frozenset(
+    (
+        FAULT_CACHE_LOOKUP,
+        FAULT_ALLOC_WAIT,
+        FAULT_READ_WAIT,
+        FAULT_COMPLETE_WAIT,
+        FAULT_MAP,
+        FAULT_CACHE_HIT,
+    )
+)
+
+#: Track 0 carries machine-wide events (cluster failures, control
+#: decisions); per-core events use ``core_track(core)``.
+TRACK_MACHINE = 0
+
+
+def core_track(core: int) -> int:
+    """Track id for *core* (machine track 0 is reserved)."""
+    return core + 1
+
+
+def track_label(track: int) -> str:
+    if track == TRACK_MACHINE:
+        return "machine"
+    return f"core{track - 1}"

@@ -1,0 +1,162 @@
+"""Run recording: tracer + timeseries attached to one machine run.
+
+:class:`RunRecorder` is the glue the CLI and run service use to turn
+any run path (``simulate`` / ``run_concurrent`` / ``run_cluster``)
+into a recording:
+
+1. :meth:`attach` enables the machine's :class:`TraceCollector` and
+   subscribes a :class:`MetricsTimeseries` to the run's telemetry
+   sampler — the control plane's sampler when the scenario is
+   governed, otherwise a recorder-owned one driven through the
+   scheduler's epoch hook (:attr:`epoch_ns` / :meth:`on_epoch`), so
+   counters are sampled exactly once per epoch either way.
+2. :meth:`finish` freezes everything into the deterministic
+   ``repro-obs-recording/1`` JSON document described in
+   ``docs/trace-format.md``: provenance, name/track tables, columnar
+   events, the timeseries, attribution totals, and the run's own
+   payload (which stays byte-identical to an untraced run).
+"""
+
+from __future__ import annotations
+
+from repro.datapath.pipeline import FAULT_KINDS
+from repro.obs.names import NAMES, STAGE_NAMES, TRACK_MACHINE, track_label
+from repro.obs.timeseries import MetricsTimeseries
+from repro.provenance import code_revision, spec_hash
+
+__all__ = ["FORMAT", "RunRecorder", "attribution_rows", "load_recording"]
+
+FORMAT = "repro-obs-recording/1"
+
+#: Default epoch for recorder-owned sampling (1 ms of sim time), used
+#: when the scenario has no control plane supplying its own epoch.
+DEFAULT_EPOCH_NS = 1_000_000
+
+
+class RunRecorder:
+    """Attach tracing + timeseries to a machine, then build a recording."""
+
+    def __init__(self, epoch_ns: int = DEFAULT_EPOCH_NS) -> None:
+        self.epoch_ns = epoch_ns
+        self.machine = None
+        self.timeseries = None
+        self._sampler = None
+
+    def attach(self, machine, control_plane=None) -> None:
+        from repro.control.telemetry import TelemetrySampler
+
+        self.machine = machine
+        machine.tracer.enable()
+        self.timeseries = MetricsTimeseries(machine)
+        if control_plane is not None:
+            # Governed run: ride the control plane's sampler (and its
+            # epoch cadence) instead of double-reading counters.
+            control_plane.sampler.subscribe(self.timeseries)
+            self._sampler = None
+            self.epoch_ns = control_plane.epoch_ns
+        else:
+            self._sampler = TelemetrySampler(machine)
+            self._sampler.subscribe(self.timeseries)
+
+    def on_epoch(self, at_ns: int, scheduler) -> None:
+        """Scheduler epoch hook for un-governed recorded runs."""
+        if self._sampler is not None:
+            self._sampler.sample(at_ns, scheduler.drivers)
+
+    def finish(self, payload, *, spec, engine: str, seed: int) -> dict:
+        """Freeze the recording document (see docs/trace-format.md)."""
+        machine = self.machine
+        tracer = machine.tracer
+        fault_time_ns = sum(
+            machine.recorder.samples([kind.value for kind in FAULT_KINDS])
+        )
+        tracks = sorted(
+            set(tracer.span_track)
+            | set(tracer.instant_track)
+            | set(tracer.counter_track)
+            | {TRACK_MACHINE}
+        )
+        return {
+            "format": FORMAT,
+            "provenance": {
+                "spec_hash": spec_hash(spec),
+                "code_rev": code_revision(),
+                "engine": engine,
+                "seed": seed,
+            },
+            "names": list(NAMES),
+            "tracks": {str(track): track_label(track) for track in tracks},
+            "events": {
+                "spans": {
+                    "name": list(tracer.span_name),
+                    "track": list(tracer.span_track),
+                    "start_ns": list(tracer.span_start),
+                    "dur_ns": list(tracer.span_dur),
+                },
+                "instants": {
+                    "name": list(tracer.instant_name),
+                    "track": list(tracer.instant_track),
+                    "at_ns": list(tracer.instant_at),
+                    "value": list(tracer.instant_value),
+                },
+                "counters": {
+                    "name": list(tracer.counter_name),
+                    "track": list(tracer.counter_track),
+                    "at_ns": list(tracer.counter_at),
+                    "value": list(tracer.counter_value),
+                },
+            },
+            "timeseries": self.timeseries.to_dict() if self.timeseries else {},
+            "totals": {
+                "fault_time_ns": fault_time_ns,
+                "events": tracer.event_count(),
+            },
+            "payload": payload,
+        }
+
+
+def load_recording(data: dict) -> dict:
+    """Validate the envelope of a recording document."""
+    if not isinstance(data, dict) or data.get("format") != FORMAT:
+        raise ValueError(f"not a {FORMAT} document")
+    for section in ("provenance", "names", "events", "totals", "payload"):
+        if section not in data:
+            raise ValueError(f"recording is missing the {section!r} section")
+    return data
+
+
+def attribution_rows(recording: dict) -> tuple[list[dict], int, int]:
+    """Per-stage sim-time attribution for ``repro obs top``.
+
+    Returns ``(rows, attributed_ns, fault_time_ns)`` where rows are
+    sorted by descending total nanoseconds and cover every stage span
+    name (``fault.*`` from :data:`~repro.obs.names.STAGE_NAMES`), and
+    ``attributed_ns`` is their sum — compared against the recorded
+    total fault time to compute the attribution coverage the CI lane
+    gates on.
+    """
+    names = recording["names"]
+    spans = recording["events"]["spans"]
+    totals: dict[int, int] = {}
+    counts: dict[int, int] = {}
+    for name, dur in zip(spans["name"], spans["dur_ns"]):
+        totals[name] = totals.get(name, 0) + dur
+        counts[name] = counts.get(name, 0) + 1
+    # Resolve stage ids through the recording's own name table so old
+    # recordings stay readable after the registry gains entries.
+    stage_labels = {NAMES[name] for name in STAGE_NAMES}
+    stage_ids = [i for i, label in enumerate(names) if label in stage_labels]
+    fault_time_ns = recording["totals"]["fault_time_ns"]
+    attributed = sum(totals.get(name, 0) for name in stage_ids)
+    rows = []
+    for name in sorted(stage_ids, key=lambda n: -totals.get(n, 0)):
+        total = totals.get(name, 0)
+        rows.append(
+            {
+                "stage": names[name],
+                "total_ns": total,
+                "count": counts.get(name, 0),
+                "share": (total / fault_time_ns) if fault_time_ns else 0.0,
+            }
+        )
+    return rows, attributed, fault_time_ns

@@ -1,0 +1,72 @@
+"""Per-epoch counter snapshots as a columnar timeseries.
+
+:class:`MetricsTimeseries` subscribes to the run's single
+:class:`~repro.control.telemetry.TelemetrySampler` (the same instance
+the control plane's governor samples from, so counters are read once
+per epoch, never twice) and snapshots the full counter registry on
+every epoch boundary:
+
+* ``metrics.*`` — every key of ``PrefetchMetrics.as_dict()``;
+* ``cq.*`` — every key of ``CompletionQueue.stats()``;
+* ``epoch.*`` — the sampler's window deltas (accesses, hits, faults,
+  coverage, pollution);
+* ``at_ns`` / ``epoch`` — the sim-time axis.
+
+Columns are discovered from the dicts on the first snapshot, so any
+counter added to the R4 registry (``repro check`` rule R4 keeps those
+dicts exhaustive) appears in the timeseries automatically — no code
+change here.  Rows are plain floats appended per epoch; numpy enters
+only at ``.npz`` export time (:mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+__all__ = ["MetricsTimeseries"]
+
+
+class MetricsTimeseries:
+    """Columnar per-epoch snapshots of the machine's counter registry."""
+
+    __slots__ = ("machine", "columns", "_rows")
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.columns: list[str] = []
+        self._rows: list[list[float]] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def on_sample(self, sample) -> None:
+        """TelemetrySampler observer hook: snapshot one epoch."""
+        row_map = {"epoch": float(sample.epoch), "at_ns": float(sample.at_ns)}
+        for key, value in self.machine.metrics.as_dict().items():
+            row_map[f"metrics.{key}"] = float(value)
+        for key, value in self.machine.vmm.completion_queue.stats().items():
+            row_map[f"cq.{key}"] = float(value)
+        row_map["epoch.accesses"] = float(
+            sum(signals.accesses for signals in sample.tenants.values())
+        )
+        row_map["epoch.hits"] = float(sample.prefetch_hits)
+        row_map["epoch.faults"] = float(sample.faults)
+        row_map["epoch.coverage"] = float(sample.coverage)
+        row_map["epoch.pollution_ratio"] = float(sample.pollution_ratio)
+        if not self.columns:
+            self.columns = sorted(row_map)
+        self._rows.append([row_map.get(column, 0.0) for column in self.columns])
+
+    def series(self, column: str) -> list[float]:
+        index = self.columns.index(column)
+        return [row[index] for row in self._rows]
+
+    def to_dict(self) -> dict:
+        """JSON-ready columnar form: ``{column: [v0, v1, ...]}``."""
+        return {
+            column: [row[index] for row in self._rows]
+            for index, column in enumerate(self.columns)
+        }
+
+    @staticmethod
+    def columns_from_dict(data: dict) -> dict[str, list[float]]:
+        """Inverse of :meth:`to_dict` (identity today; kept for symmetry)."""
+        return {column: list(values) for column, values in data.items()}

@@ -1,0 +1,140 @@
+"""Deterministic sim-time trace collection.
+
+:class:`TraceCollector` is the single sink every instrumented layer
+emits into: the fault pipeline's stage spans, completion-queue
+arrivals/coalesces/backpressure, the vectorized kernel's burst
+boundaries, scheduler bursts/migrations, cluster dispatch and
+failures, and control-plane decisions.  Three event shapes cover all
+of them:
+
+* **span** — ``(name, track, start_ns, dur_ns)``: an interval of sim
+  time attributed to a named stage;
+* **instant** — ``(name, track, at_ns, value)``: a point event;
+* **counter** — ``(name, track, at_ns, value)``: a sampled level
+  (e.g. completion-queue depth).
+
+Events live in preallocated columnar ``array('q')`` buffers — no
+per-event object allocation, append-only, integers only — so an
+enabled collector stays cheap and a disabled one costs one attribute
+check (every emit site is guarded with ``if tracer.enabled:``; lint
+rule R5 enforces the guard inside kernel loops).  Collection is pure
+observation: emitting never draws randomness, never reads wall
+clocks, and never advances sim time, which is how traced runs stay
+byte-identical to untraced runs (pinned by ``tests/test_obs.py``).
+
+Names are integer ids from :mod:`repro.obs.names`; tracks are
+``TRACK_MACHINE`` or ``core_track(core)``.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+__all__ = ["NULL_TRACER", "NullTracer", "TraceCollector"]
+
+
+class TraceCollector:
+    """Columnar span/instant/counter sink, disabled by default."""
+
+    __slots__ = (
+        "enabled",
+        "span_name",
+        "span_track",
+        "span_start",
+        "span_dur",
+        "instant_name",
+        "instant_track",
+        "instant_at",
+        "instant_value",
+        "counter_name",
+        "counter_track",
+        "counter_at",
+        "counter_value",
+    )
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._allocate()
+
+    def _allocate(self) -> None:
+        self.span_name = array("q")
+        self.span_track = array("q")
+        self.span_start = array("q")
+        self.span_dur = array("q")
+        self.instant_name = array("q")
+        self.instant_track = array("q")
+        self.instant_at = array("q")
+        self.instant_value = array("q")
+        self.counter_name = array("q")
+        self.counter_track = array("q")
+        self.counter_at = array("q")
+        self.counter_value = array("q")
+
+    # -- lifecycle ---------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded events; keep the enabled flag.
+
+        ``Machine.reset_measurements`` calls this at the end of warmup
+        so a recording covers exactly the measured phase, mirroring
+        the metrics/recorder swap.
+        """
+        self._allocate()
+
+    # -- emit points -------------------------------------------------------
+    def span(self, name: int, track: int, start_ns: int, dur_ns: int) -> None:
+        if dur_ns == 0:
+            # Zero-duration spans carry no attributable time and would
+            # only bloat exports; dropping them cannot change any sum.
+            return
+        self.span_name.append(name)
+        self.span_track.append(track)
+        self.span_start.append(start_ns)
+        self.span_dur.append(dur_ns)
+
+    def instant(self, name: int, track: int, at_ns: int, value: int = 0) -> None:
+        self.instant_name.append(name)
+        self.instant_track.append(track)
+        self.instant_at.append(at_ns)
+        self.instant_value.append(value)
+
+    def counter(self, name: int, track: int, at_ns: int, value: int) -> None:
+        self.counter_name.append(name)
+        self.counter_track.append(track)
+        self.counter_at.append(at_ns)
+        self.counter_value.append(value)
+
+    # -- views -------------------------------------------------------------
+    def event_count(self) -> int:
+        return len(self.span_name) + len(self.instant_name) + len(self.counter_name)
+
+    def stage_totals(self) -> dict[int, int]:
+        """Summed span duration per name id (sim nanoseconds)."""
+        totals: dict[int, int] = {}
+        for name, dur in zip(self.span_name, self.span_dur):
+            totals[name] = totals.get(name, 0) + dur
+        return totals
+
+
+class NullTracer(TraceCollector):
+    """The always-off default wired into uninstrumented machines.
+
+    Shares the emit-point interface so call sites need no None
+    checks, but refuses to be enabled: recording goes through a real
+    :class:`TraceCollector` created by the machine.
+    """
+
+    __slots__ = ()
+
+    def enable(self) -> None:
+        raise RuntimeError("NullTracer cannot be enabled; attach a TraceCollector")
+
+
+#: Shared default sink for components built without a machine
+#: (e.g. a bare CompletionQueue or HostAgent in unit tests).
+NULL_TRACER = NullTracer()

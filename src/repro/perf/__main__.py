@@ -126,6 +126,50 @@ def _format_delta(old: float, new: float) -> str:
     return f"{old:g} -> {new:g} ({sign}{new / old - 1.0:.1%})"
 
 
+def print_section_deltas(
+    section: str,
+    old_rows: dict,
+    new_rows: dict,
+    metrics=None,
+    old_label: str = "old",
+    new_label: str = "new",
+) -> None:
+    """Print one ``[section]`` block of per-row metric deltas.
+
+    The single delta formatter shared by ``repro perf compare`` and
+    ``repro obs diff``, so artifact rows and trace attribution rows
+    read identically in CI logs.  *metrics* restricts the columns; None
+    shows every numeric metric the two rows share.  Empty sections
+    print nothing.
+    """
+    if not old_rows and not new_rows:
+        return
+    print(f"[{section}]")
+    for name in sorted(set(old_rows) | set(new_rows)):
+        if name not in old_rows:
+            print(f"  {name}: new row (not in {old_label})")
+            continue
+        if name not in new_rows:
+            print(f"  {name}: VANISHED (present only in {old_label})")
+            continue
+        row_old, row_new = old_rows[name], new_rows[name]
+        keys = metrics
+        if keys is None:
+            keys = sorted(
+                k
+                for k in set(row_old) & set(row_new)
+                if isinstance(row_old[k], (int, float))
+                and not isinstance(row_old[k], bool)
+            )
+        shown = []
+        for metric in keys:
+            if metric not in row_old or metric not in row_new:
+                continue
+            shown.append(f"{metric} {_format_delta(row_old[metric], row_new[metric])}")
+        if shown:
+            print(f"  {name}: " + "; ".join(shown))
+
+
 def _malformed(path: str, artifact: dict) -> str | None:
     """Why an artifact can't be compared (None when it is well-formed).
 
@@ -168,34 +212,14 @@ def run_compare(args: argparse.Namespace) -> int:
             return 2
     metrics = None if args.all_metrics else DEFAULT_GATED_METRICS
     for section in ("apps", "servers"):
-        old_rows = old.get(section, {})
-        new_rows = new.get(section, {})
-        if not old_rows and not new_rows:
-            continue
-        print(f"[{section}]")
-        for name in sorted(set(old_rows) | set(new_rows)):
-            if name not in old_rows:
-                print(f"  {name}: new row (not in {args.old})")
-                continue
-            if name not in new_rows:
-                print(f"  {name}: VANISHED (present only in {args.old})")
-                continue
-            row_old, row_new = old_rows[name], new_rows[name]
-            keys = metrics
-            if keys is None:
-                keys = sorted(
-                    k
-                    for k in set(row_old) & set(row_new)
-                    if isinstance(row_old[k], (int, float))
-                    and not isinstance(row_old[k], bool)
-                )
-            shown = []
-            for metric in keys:
-                if metric not in row_old or metric not in row_new:
-                    continue
-                shown.append(f"{metric} {_format_delta(row_old[metric], row_new[metric])}")
-            if shown:
-                print(f"  {name}: " + "; ".join(shown))
+        print_section_deltas(
+            section,
+            old.get(section, {}),
+            new.get(section, {}),
+            metrics,
+            old_label=args.old,
+            new_label=args.new,
+        )
     old_wall = old.get("wall_clock_s")
     new_wall = new.get("wall_clock_s")
     if old_wall is not None and new_wall is not None:

@@ -148,6 +148,7 @@ def fig13_profile(
     cores: int = 4,
     memory_fraction: float = 0.5,
     engine: str = "object",
+    observer=None,
 ) -> tuple[dict, RunResult]:
     """Run the Figure 13 mix on the Leap stack; return (artifact, result).
 
@@ -155,7 +156,9 @@ def fig13_profile(
     not the full benchmark scale used by ``benchmarks/``.  *engine*
     selects the burst engine (``object``/``vectorized``); every
     simulated metric in the artifact is byte-identical either way (see
-    docs/kernel.md), only ``wall_clock_s`` differs.
+    docs/kernel.md), only ``wall_clock_s`` differs.  *observer* is an
+    optional :class:`repro.obs.RunRecorder` — attaching it enables
+    tracing and epoch sampling without changing any simulated number.
     """
     # Imported here so `repro.perf` stays importable without dragging
     # the whole workload/bench stack in at module load.
@@ -170,9 +173,13 @@ def fig13_profile(
         pids[name]: workload
         for name, workload in application_workloads(scale).items()
     }
+    run_kwargs: dict = {}
+    if observer is not None:
+        observer.attach(machine)
+        run_kwargs = {"epoch_ns": observer.epoch_ns, "on_epoch": observer.on_epoch}
     started = time.perf_counter()
     result = machine.run_concurrent(
-        workloads, cores=cores, memory_fraction=memory_fraction
+        workloads, cores=cores, memory_fraction=memory_fraction, **run_kwargs
     )
     wall_clock_s = time.perf_counter() - started
     artifact = profile_concurrent(
@@ -209,6 +216,7 @@ def fig13_scale_profile(
     seed: int = 42,
     cores: int = 4,
     engine: str = "vectorized",
+    observer=None,
 ) -> tuple[dict, RunResult]:
     """Run the fig13 *scale tier*; return (artifact, result).
 
@@ -250,9 +258,13 @@ def fig13_scale_profile(
     machine = Machine(leap_config(seed=seed, engine=engine))
     pids = {name: pid for pid, name in enumerate(workload_by_name, start=1)}
     workloads = {pids[name]: wl for name, wl in workload_by_name.items()}
+    run_kwargs: dict = {}
+    if observer is not None:
+        observer.attach(machine)
+        run_kwargs = {"epoch_ns": observer.epoch_ns, "on_epoch": observer.on_epoch}
     started = time.perf_counter()
     result = machine.run_concurrent(
-        workloads, cores=cores, memory_fraction=memory_fraction
+        workloads, cores=cores, memory_fraction=memory_fraction, **run_kwargs
     )
     wall_clock_s = time.perf_counter() - started
     artifact = profile_concurrent(

@@ -13,6 +13,7 @@ by the simulator.
 
 from __future__ import annotations
 
+from repro.obs.trace import NULL_TRACER
 from repro.rdma.network import RdmaFabric
 from repro.rdma.qp import DispatchQueue, Submission
 from repro.rdma.slab import PageLocation, Slab, SlabAllocator
@@ -84,6 +85,9 @@ class HostAgent:
         self.fabric = fabric
         self.remote_agents = {agent.machine_id: agent for agent in remote_agents}
         self._rng = rng
+        #: Trace sink; the owning Machine re-points this at its own
+        #: collector right after construction (see repro.obs.trace).
+        self.tracer = NULL_TRACER
         self.queues = [DispatchQueue(core) for core in range(n_cores)]
         self.allocator = SlabAllocator(slab_capacity_pages)
         self.replication = replication

@@ -30,6 +30,9 @@ import enum
 import heapq
 from dataclasses import dataclass
 
+from repro.obs.names import CQ_ARRIVAL, CQ_COALESCE, CQ_DEPTH, core_track
+from repro.obs.trace import NULL_TRACER
+
 __all__ = ["CompletionQueue", "InflightKind", "InflightRead"]
 
 
@@ -58,10 +61,11 @@ class InflightRead:
 class CompletionQueue:
     """In-flight reads ordered by arrival deadline, with depth limits."""
 
-    def __init__(self, depth_limit: int | None = None) -> None:
+    def __init__(self, depth_limit: int | None = None, tracer=None) -> None:
         if depth_limit is not None and depth_limit < 1:
             raise ValueError(f"depth_limit must be >= 1 or None, got {depth_limit}")
         self.depth_limit = depth_limit
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Latest live entry per key (a key re-issued after an untimely
         #: eviction shadows the stale copy; the heap retires both).
         self._by_key: dict[object, InflightRead] = {}
@@ -125,6 +129,10 @@ class CompletionQueue:
             self.issued_prefetch += 1
         if len(self._arrivals) > self.peak_depth:
             self.peak_depth = len(self._arrivals)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                CQ_DEPTH, core_track(core), issued_at, self._per_core[core]
+            )
         return entry
 
     def attach(self, key: object, now: int) -> InflightRead | None:
@@ -139,6 +147,8 @@ class CompletionQueue:
             return None
         entry.waiters += 1
         self.coalesced += 1
+        if self.tracer.enabled:
+            self.tracer.instant(CQ_COALESCE, core_track(entry.core), now)
         return entry
 
     def record_rejection(self) -> None:
@@ -168,6 +178,13 @@ class CompletionQueue:
             if self._by_key.get(entry.key) is entry:
                 del self._by_key[entry.key]
             self.completed += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    CQ_ARRIVAL,
+                    core_track(entry.core),
+                    entry.arrival_at,
+                    entry.waiters,
+                )
             retired.append(entry)
         return retired
 

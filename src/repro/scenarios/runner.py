@@ -143,6 +143,7 @@ def run_scenario(
     wss_pages: int | None = None,
     total_accesses: int | None = None,
     max_total_accesses: int | None = None,
+    observer=None,
 ) -> dict:
     """Run one scenario; returns a JSON-shaped result payload.
 
@@ -150,6 +151,10 @@ def run_scenario(
     (or a scenario with a failure timeline) uses the multi-server
     cluster engine.  *scenario* may be a registered name or a built
     :class:`Scenario`.
+
+    *observer* (a :class:`repro.obs.RunRecorder`) attaches tracing and
+    per-epoch timeseries sampling to the run; the payload stays
+    byte-identical to an unobserved run (``tests/test_obs.py``).
     """
     scenario = _resolve_scenario(scenario, wss_pages, total_accesses)
     if servers < 0:
@@ -176,14 +181,23 @@ def run_scenario(
             wss_pages={pid: w.wss_pages for pid, w in workloads.items()},
             default_policy=chosen_prefetcher,
         )
+    epoch_ns = None if control_plane is None else control_plane.epoch_ns
+    on_epoch = control_plane
+    if observer is not None:
+        observer.attach(machine, control_plane)
+        if control_plane is None:
+            # Un-governed run: the observer supplies the epoch cadence
+            # (sampling is pure reads, so results are unchanged).
+            epoch_ns = observer.epoch_ns
+            on_epoch = observer.on_epoch
     common = dict(
         cores=cores,
         memory_fraction=scenario.memory_fraction,
         allow_migration=scenario.allow_migration,
         max_total_accesses=max_total_accesses,
         timeline=timeline,
-        epoch_ns=None if control_plane is None else control_plane.epoch_ns,
-        on_epoch=control_plane,
+        epoch_ns=epoch_ns,
+        on_epoch=on_epoch,
     )
     if machine.cluster is not None:
         failure_plan = [

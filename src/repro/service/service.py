@@ -72,7 +72,7 @@ class RunService:
             code_rev=self.code_rev,
         )
         if self.store.has(run_key):
-            if self.store.verify(run_key):
+            if self.store.verify(run_key) and self._cache_satisfies(spec, run_key):
                 now = wall_time()
                 record.state = "done"
                 record.cache_hit = True
@@ -80,10 +80,24 @@ class RunService:
                 record.started_at = now
                 record.finished_at = now
                 return self.queue.submit(record)
-            # The stored run exists but its blob fails verification:
-            # reject it (delete the meta) and honestly re-run.
-            self.store.delete(run_key)
+            if not self.store.verify(run_key):
+                # The stored run exists but a blob fails verification:
+                # reject it (delete the meta) and honestly re-run.
+                self.store.delete(run_key)
         return self.queue.submit(record)
+
+    def _cache_satisfies(self, spec: ScenarioJob | SweepJob, run_key: str) -> bool:
+        """Can the stored run answer *spec* without re-running?
+
+        Tracing is excluded from the spec hash (it never changes the
+        payload), so a traced and an untraced submission share a run
+        key.  A stored *traced* run answers both; an untraced one
+        cannot answer ``trace=True`` — the job re-runs and the re-store
+        adds the trace extra to the same run key.
+        """
+        if not getattr(spec, "trace", False):
+            return True
+        return "trace" in self.store.meta(run_key).get("extras", {})
 
     # -- inspection ----------------------------------------------------
 
@@ -155,10 +169,11 @@ class RunService:
         if log:
             log(f"[{record.id}] running {spec.kind} (run key {record.run_key[:12]})")
         try:
+            extras: dict = {}
             if isinstance(spec, SweepJob):
                 payload = self._run_sweep(record, spec, log=log)
             else:
-                payload = self._run_scenario(record, spec)
+                payload, extras = self._run_scenario(record, spec)
         except Exception:
             failed = self.queue.fail(record, traceback.format_exc())
             if log:
@@ -177,6 +192,7 @@ class RunService:
                 "cell_pids": record.cell_pids,
             },
             payload=payload,
+            extras=extras or None,
         )
         finished = self.queue.finish(record)
         if log:
@@ -184,13 +200,27 @@ class RunService:
             log(f"[{record.id}] done -> blob {result.blob[:12]}{dedupe}")
         return finished
 
-    def _run_scenario(self, record: JobRecord, spec: ScenarioJob) -> dict:
+    def _run_scenario(
+        self, record: JobRecord, spec: ScenarioJob
+    ) -> tuple[dict, dict]:
+        """Run one scenario job; returns (payload, extras).
+
+        ``spec.trace`` attaches a :class:`repro.obs.RunRecorder` and
+        returns the recording as the ``trace`` extra — the payload is
+        byte-identical either way, so the blob dedupes against any
+        untraced run of the same spec.
+        """
         self.queue.write_progress(record.id, {"total": 1, "done": 0, "cells": {}})
         scenario = (
             Scenario.from_dict(spec.scenario)
             if isinstance(spec.scenario, dict)
             else spec.scenario
         )
+        recorder = None
+        if spec.trace:
+            from repro.obs import RunRecorder
+
+            recorder = RunRecorder()
         payload = run_scenario(
             scenario,
             seed=spec.seed,
@@ -199,9 +229,22 @@ class RunService:
             prefetcher=spec.prefetcher,
             wss_pages=spec.wss_pages,
             total_accesses=spec.total_accesses,
+            observer=recorder,
         )
+        extras: dict = {}
+        if recorder is not None:
+            # Hash the same trace-less spec the run key derives from,
+            # so the recording's provenance matches record.spec_hash.
+            spec_dict = dict(record.spec)
+            spec_dict.pop("trace", None)
+            extras["trace"] = recorder.finish(
+                payload,
+                spec=spec_dict,
+                engine=payload["config"]["engine"],
+                seed=spec.seed,
+            )
         self.queue.write_progress(record.id, {"total": 1, "done": 1, "cells": {}})
-        return payload
+        return payload, extras
 
     def _run_sweep(
         self, record: JobRecord, spec: SweepJob, log: Log | None = None

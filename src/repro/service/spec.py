@@ -38,6 +38,12 @@ class ScenarioJob:
     prefetcher: str | None = None
     wss_pages: int | None = None
     total_accesses: int | None = None
+    #: Record a deterministic trace alongside the payload (stored as a
+    #: content-addressed extra blob).  Recorded in the spec but — like
+    #: SweepJob.pool — excluded from the hash: tracing never changes
+    #: simulated results, so a traced run answers an untraced
+    #: submission (the reverse re-runs; see RunService.submit).
+    trace: bool = False
 
     kind = "scenario"
 
@@ -58,6 +64,7 @@ class ScenarioJob:
             "prefetcher": self.prefetcher,
             "wss_pages": self.wss_pages,
             "total_accesses": self.total_accesses,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -76,10 +83,15 @@ class ScenarioJob:
                 if data.get("total_accesses") is None
                 else int(data["total_accesses"])
             ),
+            trace=bool(data.get("trace", False)),
         )
 
     def spec_hash(self) -> str:
-        return spec_hash(self.to_dict())
+        # Tracing shapes what is *stored*, never the simulated numbers
+        # (tests pin byte-identity) — hashing it would split the cache.
+        data = self.to_dict()
+        del data["trace"]
+        return spec_hash(data)
 
     def run_key(self, code_rev: str) -> str:
         return run_key(self.spec_hash(), self.seed, code_rev)

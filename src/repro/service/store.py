@@ -3,8 +3,10 @@
 Layout under ``<root>/store``::
 
     runs/<run_key>/meta.json   what ran: spec + spec hash, seed, code
-                               rev, and the payload blob's address
-    blobs/<payload_sha256>     the payload's canonical JSON bytes
+                               rev, the payload blob's address, and an
+                               ``extras`` map for sidecar artifacts
+                               (e.g. the ``trace`` recording)
+    blobs/<sha256>             canonical JSON bytes (payloads + extras)
 
 The run key is derived from (canonical spec hash, seed, code rev) —
 see :mod:`repro.provenance` — and the blob name is the sha256 of the
@@ -59,16 +61,15 @@ class ArtifactStore:
 
     # -- writing -------------------------------------------------------
 
-    def put(self, run_key: str, meta: dict, payload: dict) -> StoreResult:
-        """Store *payload* under *run_key*; returns the blob address.
+    def _put_blob(self, data: dict) -> tuple[str, int, bool]:
+        """Write *data* as a content-addressed blob; (address, size, deduped).
 
-        The blob write is atomic (temp + rename) and idempotent: if the
-        content-addressed blob already exists *with the right bytes*
-        they are not rewritten and the result reports a dedupe.  A file
-        squatting at the address with wrong bytes (corruption) is
-        overwritten, not deduped against.
+        Atomic (temp + rename) and idempotent: a blob already present
+        *with the right bytes* is not rewritten and reports a dedupe.
+        A file squatting at the address with wrong bytes (corruption)
+        is overwritten, not deduped against.
         """
-        blob_bytes = (canonical_json(payload) + "\n").encode()
+        blob_bytes = (canonical_json(data) + "\n").encode()
         blob = hashlib.sha256(blob_bytes).hexdigest()
         blob_path = self.blobs_dir / blob
         deduped = blob_path.exists() and blob_path.read_bytes() == blob_bytes
@@ -76,15 +77,37 @@ class ArtifactStore:
             tmp = blob_path.with_name(f".{blob}.{os.getpid()}.tmp")
             tmp.write_bytes(blob_bytes)
             tmp.replace(blob_path)
+        return blob, len(blob_bytes), deduped
+
+    def put(
+        self,
+        run_key: str,
+        meta: dict,
+        payload: dict,
+        extras: dict | None = None,
+    ) -> StoreResult:
+        """Store *payload* under *run_key*; returns the blob address.
+
+        *extras* (name -> JSON document) are sidecar artifacts — e.g. a
+        run recording from ``submit --trace`` — stored as their own
+        content-addressed blobs and referenced from the meta's
+        ``extras`` map, so they share the payload's dedupe, integrity
+        verification (:meth:`get_extra`), and gc-rooting discipline.
+        """
+        blob, payload_bytes, deduped = self._put_blob(payload)
         run_dir = self.runs_dir / run_key
         run_dir.mkdir(exist_ok=True)
         full_meta = dict(meta)
         full_meta.update(
             run_key=run_key,
             blob=blob,
-            payload_bytes=len(blob_bytes),
+            payload_bytes=payload_bytes,
             stored_at=wall_time(),
         )
+        if extras:
+            full_meta["extras"] = {
+                name: self._put_blob(data)[0] for name, data in sorted(extras.items())
+            }
         tmp = run_dir / f".meta.{os.getpid()}.tmp"
         tmp.write_text(json.dumps(full_meta, indent=2, sort_keys=True) + "\n")
         tmp.replace(run_dir / "meta.json")
@@ -101,10 +124,8 @@ class ArtifactStore:
             raise KeyError(f"no stored run {run_key}")
         return json.loads(path.read_text())
 
-    def get(self, run_key: str) -> tuple[dict, dict]:
-        """Return (meta, payload), verifying the blob's content address."""
-        meta = self.meta(run_key)
-        blob = meta["blob"]
+    def _read_blob(self, run_key: str, blob: str) -> dict:
+        """Read a blob, verifying its content address (shared by get paths)."""
         blob_path = self.blobs_dir / blob
         if not blob_path.exists():
             raise ArtifactIntegrityError(
@@ -117,12 +138,27 @@ class ArtifactStore:
                 f"run {run_key}: blob content hash {actual} != address {blob} "
                 f"(corrupted artifact)"
             )
-        return meta, json.loads(blob_bytes)
+        return json.loads(blob_bytes)
+
+    def get(self, run_key: str) -> tuple[dict, dict]:
+        """Return (meta, payload), verifying the blob's content address."""
+        meta = self.meta(run_key)
+        return meta, self._read_blob(run_key, meta["blob"])
+
+    def get_extra(self, run_key: str, name: str) -> dict:
+        """Read a named extra (e.g. ``trace``), verified like the payload."""
+        meta = self.meta(run_key)
+        extras = meta.get("extras", {})
+        if name not in extras:
+            raise KeyError(f"run {run_key} stores no {name!r} extra")
+        return self._read_blob(run_key, extras[name])
 
     def verify(self, run_key: str) -> bool:
-        """True iff the run exists and its blob passes hash verification."""
+        """True iff the run's payload and every extra pass verification."""
         try:
-            self.get(run_key)
+            meta, _ = self.get(run_key)
+            for name in meta.get("extras", {}):
+                self.get_extra(run_key, name)
         except (KeyError, ArtifactIntegrityError, ValueError):
             return False
         return True
@@ -151,7 +187,9 @@ class ArtifactStore:
         """
         referenced = set()
         for run_key in self.list_runs():
-            referenced.add(self.meta(run_key)["blob"])
+            meta = self.meta(run_key)
+            referenced.add(meta["blob"])
+            referenced.update(meta.get("extras", {}).values())
         removed = []
         for path in sorted(self.blobs_dir.iterdir()):
             if path.name.startswith("."):

@@ -34,6 +34,7 @@ from repro.mem.reclaim import KswapdReclaimer
 from repro.mem.vmm import ProcessMemory, VirtualMemoryManager
 from repro.metrics.counters import PrefetchMetrics
 from repro.metrics.latency import LatencyRecorder
+from repro.obs.trace import TraceCollector
 from repro.prefetchers.base import NoopPrefetcher, Prefetcher
 from repro.prefetchers.ghb import GHBPrefetcher
 from repro.prefetchers.next_n_line import NextNLinePrefetcher
@@ -200,9 +201,15 @@ class Machine:
         config.validate()
         self.config = config
         root = SimRandom(config.seed, "machine")
+        # One trace sink for every layer of this machine; disabled by
+        # default, so uninstrumented runs pay one attribute check per
+        # emit site (see repro.obs.trace).
+        self.tracer = TraceCollector()
         self.host_agent: HostAgent | None = None
         self.cluster = None
         self.backend = self._build_backend(config, root)
+        if self.host_agent is not None:
+            self.host_agent.tracer = self.tracer
         self.data_path = self._build_path(config, root)
         policy = LazyLRUPolicy() if config.eviction == "lazy" else EagerFifoPolicy()
         self.cache = PageCache(policy, capacity_pages=config.cache_capacity_pages)
@@ -222,7 +229,10 @@ class Machine:
             metrics=self.metrics,
             recorder=self.recorder,
             batch_prefetch=config.batch_prefetch,
-            completion_queue=CompletionQueue(depth_limit=config.qp_depth_limit),
+            completion_queue=CompletionQueue(
+                depth_limit=config.qp_depth_limit, tracer=self.tracer
+            ),
+            tracer=self.tracer,
         )
         if config.engine == "sanitize" or sanitize_enabled():
             # Swap in the invariant-checking pipeline before any access
@@ -475,3 +485,6 @@ class Machine:
         self.cache.stats = CacheStats()
         self.vmm.completion_queue.reset_stats()
         self.prefetcher.reset()
+        # Same collector object (every layer holds a reference), fresh
+        # buffers: a recording covers exactly the measured phase.
+        self.tracer.reset()

@@ -28,6 +28,16 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.obs.names import (
+    CLUSTER_FAIL,
+    CLUSTER_RECOVER,
+    SCHED_BURST,
+    SCHED_EPOCH,
+    SCHED_MIGRATE,
+    SCHED_TIMELINE,
+    TRACK_MACHINE,
+    core_track,
+)
 from repro.sim.process import ProcessDriver, make_driver
 from repro.sim.run import ProcessSummary, RunResult, summarize_driver, warmup_process
 from repro.sim.units import ms, us
@@ -183,6 +193,10 @@ class ConcurrentScheduler:
         if now + self.migration_cost_ns >= core.busy_until:
             return core
         self.machine.migrate_process(pid, best.core_id)
+        if self.machine.tracer.enabled:
+            self.machine.tracer.instant(
+                SCHED_MIGRATE, core_track(best.core_id), now, pid
+            )
         self._last_migration[pid] = now
         self._wait_accum[pid] = 0
         driver.migrations += 1
@@ -206,6 +220,8 @@ class ConcurrentScheduler:
         ):
             at, callback = self._timeline[self._timeline_index]
             self._timeline_index += 1
+            if self.machine.tracer.enabled:
+                self.machine.tracer.instant(SCHED_TIMELINE, TRACK_MACHINE, at)
             callback(at)
 
     def _fire_due_epochs(self, now: int) -> None:
@@ -220,6 +236,10 @@ class ConcurrentScheduler:
             at = self._next_epoch
             self._next_epoch = at + self.epoch_ns
             self.epochs_fired += 1
+            if self.machine.tracer.enabled:
+                self.machine.tracer.instant(
+                    SCHED_EPOCH, TRACK_MACHINE, at, self.epochs_fired
+                )
             self.on_epoch(at, self)
 
     def _build_window(self, vmm, max_total_accesses):
@@ -311,6 +331,10 @@ class ConcurrentScheduler:
             core.busy_until = end
             core.busy_ns += end - start
             core.accesses += ran
+            if self.machine.tracer.enabled:
+                self.machine.tracer.span(
+                    SCHED_BURST, core_track(core.core_id), start, end - start
+                )
             executed += ran
             if max_total_accesses is not None and executed >= max_total_accesses:
                 driver.finished_ns = driver.clock.now
@@ -437,25 +461,24 @@ def simulate_cluster(
     merged with the failure plan's.
     """
     merged: list[TimelineEvent] = list(timeline or ())
+
+    def _traced_failure(action: str, server_id: int):
+        # Wrap the failure-plan callback so a recording marks the
+        # injection at its exact simulated time (fail_server itself has
+        # no `now` — the timeline owns the clock here).
+        def fire(at: int):
+            if action == "fail":
+                if machine.tracer.enabled:
+                    machine.tracer.instant(CLUSTER_FAIL, TRACK_MACHINE, at, server_id)
+                return machine.fail_server(server_id)
+            if machine.tracer.enabled:
+                machine.tracer.instant(CLUSTER_RECOVER, TRACK_MACHINE, at, server_id)
+            return machine.recover_server(server_id)
+
+        return fire
+
     for event in failure_plan:
-        if event.action == "fail":
-            merged.append(
-                (
-                    event.time_ns,
-                    lambda at, server_id=event.server_id: machine.fail_server(
-                        server_id
-                    ),
-                )
-            )
-        else:
-            merged.append(
-                (
-                    event.time_ns,
-                    lambda at, server_id=event.server_id: machine.recover_server(
-                        server_id
-                    ),
-                )
-            )
+        merged.append((event.time_ns, _traced_failure(event.action, event.server_id)))
     return simulate_concurrent(
         machine,
         workloads,

@@ -1,4 +1,4 @@
-"""The static-analysis suite itself: rules R1-R4, baselines, CLI.
+"""The static-analysis suite itself: rules R1-R5, baselines, CLI.
 
 Fixture trees are built in tmp_path mirroring the ``repro`` package
 layout (``sim/``, ``kernel/``, ...) with deliberately seeded
@@ -329,6 +329,152 @@ class TestCounterRule:
         assert run_check(pkg, rules=["R4"], budgets_path=budgets) == []
 
 
+# ---------------------------------------------------------------- R5
+
+
+_NAMES_MODULE = """
+_NAMES = []
+
+
+def _name(label):
+    _NAMES.append(label)
+    return len(_NAMES) - 1
+
+
+FAULT_MAP = _name("fault.map")
+BURST = _name("kernel.burst")
+lowercase_ignored = _name("not.a.constant")
+"""
+
+
+class TestTracingRule:
+    def test_literal_and_variable_names_flagged(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "obs/names.py": _NAMES_MODULE,
+                "sim/wired.py": """
+                from repro.obs.names import FAULT_MAP
+
+                def serve(tracer, at):
+                    tracer.span("fault.map", 0, at, at + 1)
+                    name = FAULT_MAP
+                    tracer.instant(name, 0, at)
+                    tracer.counter(FAULT_MAP, 0, at, 1)
+                """,
+            },
+        )
+        keys = {f.key for f in run_check(pkg, rules=["R5"])}
+        assert keys == {
+            "emit-name-span-'fault.map'",
+            "emit-name-instant-name",
+        }
+
+    def test_unregistered_constant_flagged_when_registry_present(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "obs/names.py": _NAMES_MODULE,
+                "sim/wired.py": """
+                def serve(tracer, at, NOT_REGISTERED):
+                    tracer.instant(NOT_REGISTERED, 0, at)
+                """,
+            },
+        )
+        keys = {f.key for f in run_check(pkg, rules=["R5"])}
+        assert keys == {"emit-name-instant-NOT_REGISTERED"}
+
+    def test_upper_constant_allowed_without_registry(self, tmp_path):
+        # Fixture trees without an obs layer skip the membership check
+        # but still ban literals.
+        pkg = make_tree(
+            tmp_path,
+            {
+                "sim/wired.py": """
+                def serve(tracer, at, ANYTHING_UPPER):
+                    tracer.instant(ANYTHING_UPPER, 0, at)
+                    tracer.instant("literal", 0, at)
+                """,
+            },
+        )
+        keys = {f.key for f in run_check(pkg, rules=["R5"])}
+        assert keys == {"emit-name-instant-'literal'"}
+
+    def test_attribute_constant_and_non_tracer_receiver(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "obs/names.py": _NAMES_MODULE,
+                "sim/wired.py": """
+                from repro.obs import names
+
+                def serve(machine, at):
+                    machine.tracer.span(names.FAULT_MAP, 0, at, at + 1)
+                    machine.logger.span("not an emit", 0, at, at + 1)
+                """,
+            },
+        )
+        assert run_check(pkg, rules=["R5"]) == []
+
+    def test_unguarded_kernel_loop_emit_flagged(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "obs/names.py": _NAMES_MODULE,
+                "kernel/engine.py": """
+                from repro.obs.names import BURST
+
+                def run(bursts, tracer):
+                    tracer.instant(BURST, 0, 0)
+                    for start, end in bursts:
+                        tracer.span(BURST, 0, start, end)
+
+                def guarded(bursts, tracer):
+                    for start, end in bursts:
+                        if tracer.enabled:
+                            tracer.span(BURST, 0, start, end)
+                """,
+            },
+        )
+        keys = {f.key for f in run_check(pkg, rules=["R5"])}
+        assert keys == {"unguarded-emit-run-span"}
+
+    def test_guard_outside_loop_does_not_cover_loop_body(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "obs/names.py": _NAMES_MODULE,
+                "kernel/engine.py": """
+                from repro.obs.names import BURST
+
+                def run(bursts, tracer):
+                    if tracer.enabled:
+                        for start, end in bursts:
+                            tracer.span(BURST, 0, start, end)
+                """,
+            },
+        )
+        # The whole loop sits under the guard, so per-iteration cost is
+        # already zero when disabled: clean.
+        assert run_check(pkg, rules=["R5"]) == []
+
+    def test_kernel_guard_only_checked_in_kernel(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "obs/names.py": _NAMES_MODULE,
+                "sim/loop.py": """
+                from repro.obs.names import FAULT_MAP
+
+                def run(events, tracer):
+                    for at in events:
+                        tracer.instant(FAULT_MAP, 0, at)
+                """,
+            },
+        )
+        assert run_check(pkg, rules=["R5"]) == []
+
+
 # ------------------------------------------------------- runner / CLI
 
 
@@ -347,7 +493,7 @@ class TestRunner:
 
     def test_repo_is_clean(self):
         # The acceptance contract: the analyzer's own repo passes all
-        # four rules with no baseline.
+        # five rules with no baseline.
         assert run_check() == []
 
     def test_unknown_rule_rejected(self, tmp_path):
@@ -430,7 +576,7 @@ class TestCheckCli:
         assert "unused baseline suppression" in capsys.readouterr().out
 
     def test_rule_catalog_matches_registry(self):
-        assert sorted(RULES) == ["R1", "R2", "R3", "R4"]
+        assert sorted(RULES) == ["R1", "R2", "R3", "R4", "R5"]
 
 
 # ------------------------------------------- compare byte-stability

@@ -37,6 +37,13 @@ class TestPercentile:
     def test_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([1], -1)
+
+    def test_all_equal_samples(self):
+        # Interpolation between equal neighbors must not drift.
+        for p in (0, 1, 50, 99, 100):
+            assert percentile([7, 7, 7, 7], p) == 7.0
 
     @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
     def test_monotone_in_p(self, samples):

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Schema check for exported Chrome/Perfetto ``trace_event`` JSON.
+
+Validates a trace produced by ``repro obs export --perfetto`` against
+the subset of the trace_event format the exporter promises (see
+docs/trace-format.md):
+
+* top level: ``traceEvents`` (list), ``displayTimeUnit``, and
+  ``otherData`` carrying provenance (``spec_hash``, ``code_rev``,
+  ``engine``, ``seed``);
+* every event has ``ph``/``pid``, and the fields its phase requires:
+  ``X`` (complete spans) carry name/cat/tid/ts/dur, ``i`` (instants)
+  carry name/tid/ts and scope ``s``, ``C`` (counters) carry
+  name/tid/ts/args, ``M`` (metadata) name ``thread_name`` with an
+  args.name label;
+* timestamps and durations are non-negative numbers, and every
+  ``tid`` referenced by a data event was declared by a ``thread_name``
+  metadata event.
+
+Stdlib-only, like every ``tools/`` checker.  Exit status is the number
+of violations (0 = schema OK), so the CI obs lane fails iff the
+exporter actually drifted.
+
+Usage::
+
+    python tools/check_trace_schema.py trace.perfetto.json [...]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_PROVENANCE = ("spec_hash", "code_rev", "engine", "seed")
+
+#: phase -> fields every event of that phase must carry.
+PHASE_FIELDS = {
+    "X": ("name", "cat", "tid", "ts", "dur"),
+    "i": ("name", "tid", "ts", "s"),
+    "C": ("name", "tid", "ts", "args"),
+    "M": ("name", "tid", "args"),
+}
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_trace(path: Path) -> list[str]:
+    """Violation messages for one exported trace (empty = OK)."""
+    try:
+        trace = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        return [f"{path}: unreadable: {error}"]
+    errors: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"{path}: top level must be a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: missing or empty 'traceEvents' list"]
+    if "displayTimeUnit" not in trace:
+        errors.append(f"{path}: missing 'displayTimeUnit'")
+    provenance = trace.get("otherData")
+    if not isinstance(provenance, dict):
+        errors.append(f"{path}: missing 'otherData' provenance object")
+    else:
+        for field in REQUIRED_PROVENANCE:
+            if field not in provenance:
+                errors.append(f"{path}: otherData lacks provenance field '{field}'")
+    declared_tids = set()
+    for index, event in enumerate(events):
+        where = f"{path}: traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in PHASE_FIELDS:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if "pid" not in event:
+            errors.append(f"{where}: missing 'pid'")
+        missing = [f for f in PHASE_FIELDS[phase] if f not in event]
+        if missing:
+            errors.append(f"{where}: {phase!r} event lacks {', '.join(missing)}")
+            continue
+        for field in ("ts", "dur"):
+            if field in event and (not _is_number(event[field]) or event[field] < 0):
+                errors.append(f"{where}: {field} must be a non-negative number")
+        if phase == "M":
+            if event["name"] != "thread_name":
+                errors.append(f"{where}: metadata event must be 'thread_name'")
+            elif not isinstance(event["args"].get("name"), str):
+                errors.append(f"{where}: thread_name lacks an args.name label")
+            else:
+                declared_tids.add(event["tid"])
+        else:
+            if event["tid"] not in declared_tids:
+                errors.append(
+                    f"{where}: tid {event['tid']} has no thread_name metadata"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_trace_schema.py trace.perfetto.json [...]")
+        return 2
+    errors: list[str] = []
+    checked = 0
+    for name in argv:
+        checked += 1
+        errors.extend(check_trace(Path(name)))
+    for error in errors:
+        print(error)
+    print(f"checked {checked} trace(s): {len(errors)} violation(s)")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
