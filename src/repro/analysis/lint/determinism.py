@@ -16,7 +16,8 @@ can break that silently:
 Scope: the simulation packages get the full ban (``sim/``,
 ``kernel/``, ``datapath/``, ``mem/``, ``workloads/``, ``control/``,
 ``core/``, ``rdma/``, ``prefetchers/``, ``cluster/``, ``scenarios/``,
-``metrics/``, ``analysis/``, ``storage/``, ``vfs/``, ``obs/``).  The service
+``metrics/``, ``analysis/``, ``storage/``, ``vfs/``, ``obs/``,
+``trace/``).  The service
 layer may reach the wall clock, but only through the allowlisted
 ``service/clock.py`` (``time.monotonic``/``time.sleep`` stay legal
 there — they pace host polling and never enter payloads).  ``perf/``,
@@ -52,6 +53,7 @@ SIM_SCOPE = (
     "storage/",
     "vfs/",
     "obs/",
+    "trace/",
 )
 
 #: Modules allowed to break the ban, with the reason on record.

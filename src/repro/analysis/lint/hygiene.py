@@ -6,11 +6,13 @@ instances cost ~3x the memory and a dict lookup per attribute.  Every
 ``@dataclass`` in the hot packages must therefore declare
 ``slots=True``.
 
-The vectorized kernel's burst loops (``kernel/``) additionally must not
-allocate per-iteration container objects: a ``dict``/``set`` literal,
-``dict``/``set`` comprehension, or ``lambda`` inside a ``for``/``while``
-body re-allocates on every burst and shows up directly in the
-engine-A/B wall-clock ratio the nightly tracks.
+The vectorized kernel's burst loops (``kernel/``) and the columnar
+trace subsystem (``trace/``) additionally must not allocate
+per-iteration container objects: a ``dict``/``set`` literal,
+``dict``/``set`` comprehension, or ``lambda`` inside a
+``for``/``while`` body re-allocates on every burst (or per trace
+block) and shows up directly in the engine-A/B wall-clock ratio the
+nightly tracks.
 """
 
 from __future__ import annotations
@@ -40,7 +42,11 @@ HOT_SCOPE = (
     "storage/",
     "vfs/",
     "obs/",
+    "trace/",
 )
+
+#: Packages whose ``for``/``while`` bodies must stay allocation-free.
+LOOP_SCOPE = ("kernel/", "trace/")
 
 _LOOP_ALLOC_NODES = (ast.Dict, ast.Set, ast.DictComp, ast.SetComp, ast.Lambda)
 
@@ -135,6 +141,6 @@ def run(ctx: CheckContext) -> list[Finding]:
     for rel, src in ctx.sources.items():
         if rel.startswith(HOT_SCOPE):
             findings.extend(_dataclass_findings(rel, src.tree))
-        if rel.startswith("kernel/"):
+        if rel.startswith(LOOP_SCOPE):
             findings.extend(_loop_alloc_findings(rel, src.tree))
     return findings

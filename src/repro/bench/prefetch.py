@@ -126,11 +126,27 @@ class Fig3Cell:
     fractions: WindowFractions
 
 
+def _workload_addresses(workload: Workload) -> list[int]:
+    """The workload's vpn sequence without per-access objects.
+
+    Goes through the columnar trace path (one ``tolist`` instead of one
+    ``PageAccess`` per touch); falls back to the object stream on
+    installs without numpy.  Both produce the identical int sequence.
+    """
+    try:
+        from repro.workloads.base import materialize_columns
+
+        vpn, _, _ = materialize_columns(workload)
+    except ModuleNotFoundError:
+        return [access.vpn for access in workload.accesses()]
+    return vpn.tolist()
+
+
 def fig3_pattern_windows(scale: BenchScale = BenchScale()) -> list[Fig3Cell]:
     """Strict vs majority window classification per application."""
     cells = []
     for name, workload in application_workloads(scale).items():
-        addresses = [access.vpn for access in workload.accesses()]
+        addresses = _workload_addresses(workload)
         for window in (2, 4, 8):
             cells.append(
                 Fig3Cell(name, window, False, window_fractions(addresses, window))

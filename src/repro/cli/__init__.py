@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
-Nine commands cover the common interactive uses, one module per
+Ten commands cover the common interactive uses, one module per
 command group:
 
 * ``compare`` / ``run`` / ``figures`` (:mod:`repro.cli.figures`) — the
@@ -21,9 +21,14 @@ command group:
   ``worker`` processes that fan sweep cells across host cores,
   ``status``/``result`` for streamed progress and verified
   content-addressed results, ``gc`` for blob reclamation;
+* ``trace`` (:mod:`repro.cli.trace`) — production-scale traces:
+  ``list`` file metadata, ``capture`` any workload or scenario tenant
+  into the columnar v2 container, ``replay`` a trace through either
+  burst engine, ``analyze`` it with the vectorized kernel
+  (reuse-distance/stride/region artifact), ``convert`` v1 ↔ v2;
 * ``perf`` — the CI perf gate: emit a scaled-down profile artifact
-  (``fig13``, ``cluster``, ``scenarios``, or ``control``) and compare
-  it against a committed baseline;
+  (``fig13``, ``cluster``, ``scenarios``, ``control``, or ``trace``)
+  and compare it against a committed baseline;
 * ``obs`` (:mod:`repro.cli.obs`) — deterministic run tracing:
   ``record`` a traced fig13/scenario run (byte-identical payloads to
   untraced runs), ``export`` to Perfetto JSON or columnar ``.npz``,
@@ -50,6 +55,7 @@ from repro.cli import figures as _figures
 from repro.cli import obs as _obs
 from repro.cli import scenario as _scenario
 from repro.cli import service as _service
+from repro.cli import trace as _trace
 from repro.cli.common import SYSTEMS, WORKLOADS
 from repro.cli.figures import FIGURES
 
@@ -67,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
     _scenario.add_parsers(sub)
     _control.add_parsers(sub)
     _service.add_parsers(sub)
+    _trace.add_parsers(sub)
     _obs.add_parsers(sub)
     _check.add_parsers(sub)
 
@@ -74,7 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     perf = sub.add_parser(
         "perf",
-        help="emit/gate a perf artifact (fig13, cluster, scenarios, or control)",
+        help="emit/gate a perf artifact (fig13, cluster, scenarios, control, or trace)",
     )
     add_perf_arguments(perf)
     perf.set_defaults(handler=perf_run)

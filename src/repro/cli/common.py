@@ -19,6 +19,7 @@ from repro.workloads.patterns import (
     StrideWorkload,
     ZipfianWorkload,
 )
+from repro.workloads.kvcache import KVCacheWorkload
 from repro.workloads.powergraph import PowerGraphWorkload
 from repro.workloads.voltdb import VoltDBWorkload
 
@@ -40,6 +41,7 @@ WORKLOADS = {
     "numpy": NumpyMatmulWorkload,
     "voltdb": VoltDBWorkload,
     "memcached": MemcachedWorkload,
+    "kvcache": KVCacheWorkload,
 }
 
 

@@ -122,12 +122,19 @@ def add_parsers(sub) -> None:
 
 
 def _load_scenario_arg(token: str):
-    """A submit operand: a registered name, or a Scenario JSON file."""
+    """A submit operand: a registered name, a Scenario JSON file, or a
+    trace file (v1 or v2, sniffed by magic) replayed as a single-tenant
+    scenario."""
     if token.endswith(".json") or Path(token).is_file():
-        data = json.loads(Path(token).read_text())
+        from repro.trace.convert import sniff_trace, trace_tenant_scenario
+
         # Validate eagerly so a bad file fails at submit, not in a worker.
         from repro.scenarios import Scenario
 
+        if Path(token).is_file() and sniff_trace(token):
+            data = trace_tenant_scenario(token)
+        else:
+            data = json.loads(Path(token).read_text())
         return Scenario.from_dict(data).to_dict()
     return token
 

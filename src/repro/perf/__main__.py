@@ -3,8 +3,10 @@
 Runs a scaled-down profile through the concurrent engine — the Figure
 13 mix (``--profile fig13``, the default), the multi-server memory
 cluster (``--profile cluster``), the multi-tenant scenario set
-(``--profile scenarios``), or the governed-vs-static control-plane A/B
-(``--profile control``) — writes ``BENCH_<profile>.json``, and
+(``--profile scenarios``), the governed-vs-static control-plane A/B
+(``--profile control``), or the million-access columnar-trace
+lifecycle (``--profile trace``: capture → mmap replay → vectorized
+analyze) — writes ``BENCH_<profile>.json``, and
 — when ``--baseline`` is given — fails (exit 1) if any gated metric
 regressed past the budget.  See PERF_BUDGETS.md for the budgets and
 the waiver policy.
@@ -32,9 +34,10 @@ from repro.perf.profile import (
     fig13_profile,
     fig13_scale_profile,
     scenarios_profile,
+    trace_profile,
 )
 
-PROFILES = ("fig13", "cluster", "scenarios", "control")
+PROFILES = ("fig13", "cluster", "scenarios", "control", "trace")
 TIERS = ("smoke", "scale")
 
 
@@ -70,9 +73,10 @@ def add_perf_arguments(parser: argparse.ArgumentParser) -> None:
         "--engine",
         choices=["object", "vectorized"],
         default=None,
-        help="burst engine for the fig13 profiles (default: the "
-        "profile's own default — object for smoke, vectorized for "
-        "scale); simulated metrics are identical either way",
+        help="burst engine for the fig13 and trace profiles (default: "
+        "the profile's own default — object for fig13 smoke, "
+        "vectorized for fig13 scale and trace); simulated metrics are "
+        "identical either way",
     )
     parser.add_argument(
         "--max-wall-clock",
@@ -231,17 +235,26 @@ def run_compare(args: argparse.Namespace) -> int:
 
 
 def _run_profile(args: argparse.Namespace) -> dict:
-    if args.profile != "fig13":
+    if args.profile not in ("fig13", "trace"):
         if getattr(args, "engine", None) is not None:
             raise SystemExit(
-                f"error: --engine applies to the fig13 profiles only, "
-                f"not --profile {args.profile}"
+                f"error: --engine applies to the fig13 and trace profiles "
+                f"only, not --profile {args.profile}"
             )
+    if args.profile != "fig13":
         if getattr(args, "tier", "smoke") != "smoke":
             raise SystemExit(
                 f"error: --tier scale applies to --profile fig13 only, "
                 f"not --profile {args.profile}"
             )
+    if args.profile == "trace":
+        # The trace profile pins its own tier (TRACE_PROFILE_TIER);
+        # --wss-pages/--accesses/--cores do not apply.
+        artifact, _ = trace_profile(
+            seed=args.seed,
+            engine=args.engine or "vectorized",
+        )
+        return artifact
     if args.profile == "control":
         # One scenario, but 1 governed + N static arms: quarter the
         # shared scale so the A/B stays smoke-sized.
@@ -300,10 +313,21 @@ def run(args: argparse.Namespace) -> int:
     path = write_artifact(artifact, args.out)
     print(f"wrote {path}")
     for name, row in sorted(artifact["apps"].items()):
+        if "p50_us" not in row:
+            # Trace-analyzer rows (trace/*, region/*) carry array
+            # statistics, not latency percentiles; summarized below.
+            continue
         print(
             f"  {name:<12} p50 {row['p50_us']:8.2f} us   p95 {row['p95_us']:8.2f} us   "
             f"p99 {row['p99_us']:8.2f} us   completion {row['completion_s']:.3f} s"
         )
+    for name, row in sorted(artifact["apps"].items()):
+        if "prefetchability" in row and name.startswith("trace/"):
+            print(
+                f"  {name}: seq {row['seq_frac']:.1%}  stride "
+                f"{row['stride_frac']:.1%}  random {row['random_frac']:.1%}  "
+                f"prefetchability {row['prefetchability']:.1%}"
+            )
     for server_id, row in sorted(artifact.get("servers", {}).items()):
         print(
             f"  server:{server_id:<5} p50 {row['p50_us']:8.2f} us   "

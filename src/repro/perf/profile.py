@@ -30,8 +30,10 @@ __all__ = [
     "cluster_profile",
     "scenarios_profile",
     "control_profile",
+    "trace_profile",
     "SCENARIO_PROFILE_NAMES",
     "CONTROL_PROFILE_SCENARIO",
+    "TRACE_PROFILE_TIER",
 ]
 
 #: Scenarios the CI perf gate runs: a skewed web tier (steady-state
@@ -282,6 +284,105 @@ def fig13_scale_profile(
         },
         wall_clock_s=wall_clock_s,
     )
+    return artifact, result
+
+
+#: The trace-profile tier: a million-access KV-cache paging trace —
+#: the production-scale regime the columnar trace subsystem exists for.
+#: High residency (0.9 memory fraction) keeps the replay in the burst
+#: engines' vectorizable common case; the kvcache mix balances the hot
+#: prefix against decode appends and recency lookups so all three
+#: phases land in the capture.  See PERF_BUDGETS.md for the budget.
+TRACE_PROFILE_TIER = {
+    "wss_pages": 16_384,
+    "accesses": 1_000_000,
+    "memory_fraction": 0.9,
+    "hot_fraction": 0.125,
+    "append_pages": 64,
+    "lookups_per_append": 192,
+}
+
+
+def trace_profile(
+    seed: int = 42,
+    engine: str = "vectorized",
+    regions: int = 8,
+) -> tuple[dict, RunResult]:
+    """Capture, replay, and analyze a million-access trace end to end.
+
+    The full trace lifecycle at ``TRACE_PROFILE_TIER`` scale: generate
+    the KV-cache paging workload, capture it to a v2 columnar file
+    (straight from its block stream), reopen it memory-mapped, replay
+    it through the machine on *engine*, and run the vectorized
+    analyzer on its columns.  The replay row (``kvcache-replay``) is
+    gated on ``p95_us``/``completion_s`` like any app row; the
+    analyzer's ``trace/*`` and ``region/*`` rows ride along for
+    ``repro perf compare`` diffs (no gated metrics).  Per-stage wall
+    clocks land in ``config`` and the end-to-end total in
+    ``wall_clock_s`` for ``--max-wall-clock`` budgeting.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.sim.machine import Machine, leap_config
+    from repro.sim.simulate import simulate
+    from repro.trace.analyze import analyze_columns
+    from repro.trace.capture import capture_workload
+    from repro.trace.format import open_trace_v2
+    from repro.workloads.kvcache import KVCacheWorkload
+
+    tier = TRACE_PROFILE_TIER
+    workload = KVCacheWorkload(
+        wss_pages=tier["wss_pages"],
+        total_accesses=tier["accesses"],
+        seed=seed,
+        hot_fraction=tier["hot_fraction"],
+        append_pages=tier["append_pages"],
+        lookups_per_append=tier["lookups_per_append"],
+    )
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-trace-") as tmp:
+        path = Path(tmp) / "kvcache.rtrace"
+        capture_workload(workload, path)
+        captured = time.perf_counter()
+        trace = open_trace_v2(path)
+        opened = time.perf_counter()
+        machine = Machine(leap_config(seed=seed, engine=engine))
+        result = simulate(
+            machine, {1: trace}, memory_fraction=tier["memory_fraction"]
+        )
+        replayed = time.perf_counter()
+        vpn, is_write, think_ns = trace.columns()
+        analysis = analyze_columns(
+            vpn,
+            is_write,
+            think_ns,
+            wss_pages=trace.wss_pages,
+            name=trace.name,
+            regions=regions,
+        )
+    finished = time.perf_counter()
+    artifact = profile_concurrent(
+        result,
+        {1: "kvcache-replay"},
+        bench="trace",
+        config={
+            "seed": seed,
+            "engine_impl": engine,
+            "regions": regions,
+            "system": "d-vmm+leap",
+            "stage_wall_s": {
+                "capture": round(captured - started, 3),
+                "open": round(opened - captured, 4),
+                "replay": round(replayed - opened, 3),
+                "analyze": round(finished - replayed, 3),
+            },
+            **tier,
+        },
+        wall_clock_s=finished - started,
+    )
+    artifact["engine"] = "trace"
+    artifact["apps"].update(analysis["apps"])
     return artifact, result
 
 

@@ -349,6 +349,45 @@ def _adaptive_colocation(wss_pages: int, total_accesses: int) -> Scenario:
     )
 
 
+@register("llm-inference-paging")
+def _llm_inference_paging(wss_pages: int, total_accesses: int) -> Scenario:
+    return Scenario(
+        name="llm-inference-paging",
+        description="Two KV-cache paging tenants (prefix reuse + decode appends + recency lookups) beside a zipfian web tier",
+        # The two serving replicas differ in decode/lookup mix: one is
+        # prefill-heavy (long appends, few lookups), one decode-heavy
+        # (short appends, many attention reads) — the two ends of the
+        # batching spectrum an inference server swings between.
+        tenants=(
+            TenantSpec(
+                name="prefill",
+                workload="kvcache",
+                wss_pages=wss_pages,
+                weight=2.0,
+                params={"append_pages": 64, "lookups_per_append": 16},
+                arrival=_WEB,
+            ),
+            TenantSpec(
+                name="decode",
+                workload="kvcache",
+                wss_pages=wss_pages,
+                params={"append_pages": 8, "lookups_per_append": 96},
+                arrival=_STORM,
+            ),
+            TenantSpec(
+                name="web",
+                workload="zipfian",
+                wss_pages=wss_pages // 2,
+                params={"skew": 0.99},
+                arrival=_WEB,
+            ),
+        ),
+        total_accesses=total_accesses,
+        popularity_skew=0.9,
+        memory_fraction=0.6,
+    )
+
+
 @register("kitchen-sink")
 def _kitchen_sink(wss_pages: int, total_accesses: int) -> Scenario:
     return Scenario(

@@ -21,7 +21,9 @@ from typing import Iterator, Mapping
 from repro.control.spec import BalancerSpec, ControlSpec, GovernorSpec
 from repro.sim.process import PageAccess
 from repro.sim.rng import SimRandom, derive_seed
+from repro.trace.convert import load_any_trace
 from repro.workloads.base import Workload
+from repro.workloads.kvcache import KVCacheWorkload
 from repro.workloads.memcached import MemcachedWorkload
 from repro.workloads.numpy_matmul import NumpyMatmulWorkload
 from repro.workloads.patterns import (
@@ -32,7 +34,6 @@ from repro.workloads.patterns import (
 )
 from repro.workloads.phased import PhasedWorkload
 from repro.workloads.powergraph import PowerGraphWorkload
-from repro.workloads.trace_io import load_trace
 from repro.workloads.voltdb import VoltDBWorkload
 
 __all__ = [
@@ -50,7 +51,8 @@ __all__ = [
 ]
 
 #: Workload kinds a tenant may declare.  ``trace`` replays a recorded
-#: trace file (``params={"path": ...}``, see :mod:`repro.workloads.trace_io`).
+#: trace file — v1 text or v2 columnar, sniffed by magic
+#: (``params={"path": ...}``, see :mod:`repro.trace`).
 WORKLOAD_KINDS = {
     "sequential": SequentialWorkload,
     "stride": StrideWorkload,
@@ -61,6 +63,7 @@ WORKLOAD_KINDS = {
     "voltdb": VoltDBWorkload,
     "memcached": MemcachedWorkload,
     "phased": PhasedWorkload,
+    "kvcache": KVCacheWorkload,
 }
 
 
@@ -415,7 +418,7 @@ def _build_workload(tenant: TenantSpec, accesses: int, seed: int) -> Workload:
             raise ValueError(
                 f"tenant {tenant.name!r}: trace workloads need params['path']"
             ) from None
-        inner: Workload = load_trace(path)
+        inner: Workload = load_any_trace(path)
     else:
         cls = WORKLOAD_KINDS[tenant.workload]
         kwargs = dict(tenant.params)

@@ -17,7 +17,7 @@ from typing import Iterator
 from repro.sim.process import PageAccess
 from repro.sim.rng import SimRandom
 
-__all__ = ["Workload", "materialize_trace"]
+__all__ = ["Workload", "materialize_columns", "materialize_trace"]
 
 
 class Workload(abc.ABC):
@@ -163,5 +163,42 @@ class Workload(abc.ABC):
 
 
 def materialize_trace(workload: Workload) -> list[PageAccess]:
-    """Fully expand a workload (for analysis such as Figure 3)."""
+    """Fully expand a workload (for analysis such as Figure 3).
+
+    Object form — one :class:`PageAccess` per touch.  Analysis paths
+    that only need arrays should prefer :func:`materialize_columns`,
+    which never builds the per-access objects.
+    """
     return list(workload.accesses())
+
+
+def materialize_columns(workload: Workload):
+    """The workload's full trace as ``(vpn, is_write, think_ns)`` arrays.
+
+    The columnar twin of :func:`materialize_trace`: concatenates the
+    workload's :meth:`~Workload.columnar_blocks` stream (bit-identical
+    to :meth:`~Workload.accesses` by contract) into three int64/bool
+    arrays without a per-access object detour.  Workloads that already
+    hold their columns (``ColumnarTraceWorkload``) are returned
+    zero-copy via their ``columns()`` fast path.  Needs numpy — callers
+    that must run without it fall back to :func:`materialize_trace`.
+    """
+    import numpy as np
+
+    columns = getattr(workload, "columns", None)
+    if columns is not None:
+        return columns()
+    vpn_parts = []
+    write_parts = []
+    think_parts = []
+    for block in workload.columnar_blocks():
+        vpn_parts.append(block.vpn)
+        write_parts.append(block.is_write)
+        think_parts.append(block.think_ns)
+    if not vpn_parts:
+        raise ValueError(f"workload {workload.name!r} emitted no accesses")
+    return (
+        np.concatenate(vpn_parts),
+        np.concatenate(write_parts),
+        np.concatenate(think_parts),
+    )

@@ -7,7 +7,7 @@ trace with a bug report, to replay recorded traffic inside a scenario
 log.  Traces serialize to a line-oriented text format::
 
     # repro-trace v1
-    # wss_pages=4096 think_ns=1000 name=recorded
+    # wss_pages=4096 think_ns=1000 count=30000 name=recorded
     vpn[,w][,t<ns>]
 
 One access per line; a trailing ``,w`` marks a write and ``,t<ns>``
@@ -41,29 +41,35 @@ def save_trace(
 
     *think_ns* is the default think time recorded in the header; an
     access whose ``think_ns`` differs is written with an explicit
-    ``,t<ns>`` suffix so nothing is lost in the round trip.
+    ``,t<ns>`` suffix so nothing is lost in the round trip.  The header
+    records the access ``count``, which :func:`load_trace` checks — a
+    truncated or padded file fails loudly instead of replaying short.
     """
     path = Path(path)
     if any(c.isspace() for c in name) or "=" in name or not name:
         raise ValueError(f"trace name must be a single token, got {name!r}")
-    count = 0
+    # Buffered (v1 is the small-trace interchange format; production
+    # scale lives in v2) so the header can carry the count up front.
+    items = list(accesses)
     with path.open("w", encoding="utf-8") as handle:
         handle.write(f"{_HEADER}\n")
-        handle.write(f"# wss_pages={wss_pages} think_ns={think_ns} name={name}\n")
-        for access in accesses:
+        handle.write(
+            f"# wss_pages={wss_pages} think_ns={think_ns} "
+            f"count={len(items)} name={name}\n"
+        )
+        for access in items:
             parts = [str(access.vpn)]
             if access.is_write:
                 parts.append("w")
             if access.think_ns != think_ns:
                 parts.append(f"t{access.think_ns}")
             handle.write(",".join(parts) + "\n")
-            count += 1
-    return count
+    return len(items)
 
 
 #: Header keys that carry integers; everything else stays a string
 #: (int() would mangle e.g. a digit-and-underscore trace *name*).
-_INT_METADATA_KEYS = ("wss_pages", "think_ns")
+_INT_METADATA_KEYS = ("wss_pages", "think_ns", "count")
 
 
 def _parse_metadata(line: str) -> dict[str, object]:
@@ -116,6 +122,13 @@ def load_trace(path: str | Path) -> "RecordedWorkload":
             accesses.append(_parse_access(path, line_number, line, think_ns))
     if not accesses:
         raise ValueError(f"{path}: trace holds no accesses")
+    declared = metadata.get("count")
+    if declared is not None and len(accesses) != declared:
+        kind = "truncated" if len(accesses) < declared else "padded"
+        raise ValueError(
+            f"{path}: {kind} trace — header declares count={declared} "
+            f"but the file holds {len(accesses)} accesses"
+        )
     return RecordedWorkload(
         accesses_list=accesses,
         wss_pages=int(metadata["wss_pages"]),
